@@ -1,0 +1,263 @@
+// Benchmarks that regenerate each table and figure of the paper's
+// evaluation (one benchmark per experiment, plus ablations of the design
+// choices DESIGN.md calls out). Custom metrics carry the experiment's
+// headline numbers; cmd/experiments prints the full rows.
+//
+//	go test -bench=. -benchmem
+package shelfsim
+
+import (
+	"testing"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/harness"
+	"shelfsim/internal/metrics"
+)
+
+// benchInsts keeps one benchmark iteration around a second.
+const (
+	benchInsts = 2000
+	benchMixes = 4
+)
+
+func BenchmarkFig1_InSequenceFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchInsts, benchMixes)
+		rows, err := h.Fig1([]int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rows[0].InSeqFrac, "inseq1T_%")
+		b.ReportMetric(100*rows[1].InSeqFrac, "inseq4T_%")
+	}
+}
+
+func BenchmarkFig2_SeriesLengthCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchInsts, benchMixes)
+		res, err := h.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanInSeqLen, "inseq_len")
+		b.ReportMetric(res.MeanReorderedLen, "reord_len")
+	}
+}
+
+func BenchmarkFig10_STP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchInsts, benchMixes)
+		rows, err := h.Fig10(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opt, dbl []float64
+		for _, r := range rows {
+			opt = append(opt, 1+r.Improvement(r.ShelfOpt))
+			dbl = append(dbl, 1+r.Improvement(r.Base128))
+		}
+		gmOpt, _ := metrics.GeoMean(opt)
+		gmDbl, _ := metrics.GeoMean(dbl)
+		b.ReportMetric(100*(gmOpt-1), "shelfSTP_%")
+		b.ReportMetric(100*(gmDbl-1), "b128STP_%")
+	}
+}
+
+func BenchmarkFig11_PerThreadInSeq(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchInsts, benchMixes)
+		rows, err := h.Fig11(4, []int{0, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var all []float64
+		for _, r := range rows {
+			all = append(all, r.Fractions...)
+		}
+		b.ReportMetric(100*metrics.Mean(all), "inseq_%")
+	}
+}
+
+func BenchmarkFig12_Steering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchInsts, benchMixes)
+		rows, err := h.Fig12(4, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var prac, orac []float64
+		for _, r := range rows {
+			prac = append(prac, r.Practical/r.Base64)
+			orac = append(orac, r.Oracle/r.Base64)
+		}
+		gp, _ := metrics.GeoMean(prac)
+		gor, _ := metrics.GeoMean(orac)
+		b.ReportMetric(100*(gp-1), "practical_%")
+		b.ReportMetric(100*(gor-1), "oracle_%")
+	}
+}
+
+func BenchmarkFig13_EDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchInsts, benchMixes)
+		rows, err := h.Fig13(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opt []float64
+		for _, r := range rows {
+			opt = append(opt, r.Base64/r.ShelfOpt)
+		}
+		gm, _ := metrics.GeoMean(opt)
+		b.ReportMetric(100*(gm-1), "shelfEDP_%")
+	}
+}
+
+func BenchmarkFig14_FewerThreads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchInsts, benchMixes)
+		rows, err := h.Fig14([]int{1, 2}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rows[0].STPImprovement, "stp1T_%")
+		b.ReportMetric(100*rows[1].STPImprovement, "stp2T_%")
+	}
+}
+
+func BenchmarkTable2_Area(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sn, _, bn, _ := harness.Table2(4)
+		b.ReportMetric(100*sn, "shelfArea_%")
+		b.ReportMetric(100*bn, "b128Area_%")
+	}
+}
+
+// benchConfigSTP runs one configuration over the bench mixes and reports
+// geomean STP improvement over base64.
+func benchConfigSTP(b *testing.B, mutate func(*config.Config)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		h := harness.New(benchInsts, benchMixes)
+		base := config.Base64(4)
+		cfg := config.Shelf64(4, true)
+		mutate(&cfg)
+		var ratios []float64
+		for _, mix := range h.Mixes(4) {
+			rb, err := h.Run(base, mix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rc, err := h.Run(cfg, mix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sb, err := h.STP(mix, rb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc, err := h.STP(mix, rc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratios = append(ratios, sc/sb)
+		}
+		gm, err := metrics.GeoMean(ratios)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(gm-1), "stp_%")
+	}
+}
+
+// Ablations of the design choices DESIGN.md calls out.
+
+func BenchmarkAblation_SingleSSR(b *testing.B) {
+	benchConfigSTP(b, func(c *config.Config) {
+		c.SingleSSR = true
+		c.Name = "shelf64-singlessr"
+	})
+}
+
+func BenchmarkAblation_ShelfIndexSpace(b *testing.B) {
+	benchConfigSTP(b, func(c *config.Config) {
+		c.ShelfReleaseAtWriteback = true
+		c.Name = "shelf64-releasewb"
+	})
+}
+
+func BenchmarkAblation_RCT3bit(b *testing.B) {
+	benchConfigSTP(b, func(c *config.Config) {
+		c.RCTBits = 3
+		c.Name = "shelf64-rct3"
+	})
+}
+
+func BenchmarkAblation_RCT8bit(b *testing.B) {
+	benchConfigSTP(b, func(c *config.Config) {
+		c.RCTBits = 8
+		c.Name = "shelf64-rct8"
+	})
+}
+
+func BenchmarkAblation_PLT0(b *testing.B) {
+	benchConfigSTP(b, func(c *config.Config) {
+		c.PLTLoads = 0
+		c.Name = "shelf64-plt0"
+	})
+}
+
+func BenchmarkAblation_PLT8(b *testing.B) {
+	benchConfigSTP(b, func(c *config.Config) {
+		c.PLTLoads = 8
+		c.Name = "shelf64-plt8"
+	})
+}
+
+func BenchmarkAblation_ShelfSize16(b *testing.B) {
+	benchConfigSTP(b, func(c *config.Config) {
+		c.Shelf = 16
+		c.Name = "shelf16"
+	})
+}
+
+func BenchmarkAblation_ShelfSize128(b *testing.B) {
+	benchConfigSTP(b, func(c *config.Config) {
+		c.Shelf = 128
+		c.Name = "shelf128"
+	})
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (retired
+// instructions per wall-clock second drive the reported metric).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	kernels := []string{"stencil", "gups", "branchy", "matblock"}
+	var retired int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunKernels(Shelf64(4, true), kernels, 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired += res.Stats.Retired
+	}
+	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkCoarseGrainSwitching contrasts the paper's per-instruction
+// steering with MorphCore-style whole-core switching (§VI): the coarse
+// design cannot interleave in-sequence and reordered instructions.
+func BenchmarkCoarseGrainSwitching(b *testing.B) {
+	benchConfigSTP(b, func(c *config.Config) {
+		*c = config.Coarse64(4, 1000)
+	})
+}
+
+// BenchmarkAblation_NextLinePrefetch adds a next-line L1D prefetcher to
+// the shelf design (the paper's baseline has none); memory-streaming
+// kernels shift from miss-bound toward window-bound behaviour.
+func BenchmarkAblation_NextLinePrefetch(b *testing.B) {
+	benchConfigSTP(b, func(c *config.Config) {
+		c.Mem.PrefetchNextLines = 1
+		c.Name = "shelf64-prefetch"
+	})
+}

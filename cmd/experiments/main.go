@@ -1,0 +1,256 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Figures 1, 2, 10-14; Tables I, II) on the simulated core.
+//
+//	experiments -exp all -insts 8000 -mixes 28
+//	experiments -exp fig10 -insts 20000
+//
+// Each experiment prints the same rows/series the paper reports; absolute
+// numbers differ (synthetic workloads on a from-scratch simulator) but the
+// shapes — who wins, by roughly what factor — are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/harness"
+	"shelfsim/internal/metrics"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig1,fig2,table1,fig10,fig11,fig12,fig13,table2,fig14,all")
+		insts  = flag.Int64("insts", 8000, "measured instructions per thread")
+		mixes  = flag.Int("mixes", 28, "number of balanced-random mixes (max 28)")
+		thread = flag.Int("threads", 4, "thread count for the main experiments")
+	)
+	flag.Parse()
+
+	h := harness.New(*insts, *mixes)
+	run := func(name string, f func(*harness.Harness, int) error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(h, *thread); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", table1)
+	run("fig1", fig1)
+	run("fig2", fig2)
+	run("fig10", fig10)
+	run("fig11", fig11)
+	run("fig12", fig12)
+	run("fig13", fig13)
+	run("table2", table2)
+	run("fig14", fig14)
+}
+
+func table1(_ *harness.Harness, threads int) error {
+	cfg := config.Shelf64(threads, true)
+	fmt.Printf("Core            %d-thread SMT OOO @ 2.0 GHz\n", cfg.Threads)
+	fmt.Printf("Width           %d-wide OOO with %d-wide fetch\n", cfg.Width, cfg.FetchWidth)
+	fmt.Printf("Front end       %d cycles fetch-to-dispatch (ICOUNT)\n", cfg.FetchToDispatch)
+	fmt.Printf("ROB             %d (or %d)\n", config.Base64(threads).ROB, config.Base128(threads).ROB)
+	fmt.Printf("IQ, LQ, SQ      %d (or %d)\n", config.Base64(threads).IQ, config.Base128(threads).IQ)
+	fmt.Printf("Shelf           %d\n", cfg.Shelf)
+	fmt.Printf("Steering        %d-bit RCT entries, %d-load PLT\n", cfg.RCTBits, cfg.PLTLoads)
+	fmt.Printf("L1I             %dKB, %d-way, %d-cycle\n", cfg.Mem.L1I.SizeBytes>>10, cfg.Mem.L1I.Ways, cfg.Mem.L1I.LatencyCycles)
+	fmt.Printf("L1D             %dKB, %d-way, %d-cycle\n", cfg.Mem.L1D.SizeBytes>>10, cfg.Mem.L1D.Ways, cfg.Mem.L1D.LatencyCycles)
+	fmt.Printf("L2              %dMB, %d-way, %d-cycle\n", cfg.Mem.L2.SizeBytes>>20, cfg.Mem.L2.Ways, cfg.Mem.L2.LatencyCycles)
+	fmt.Printf("Memory          %d-cycle latency\n", cfg.Mem.MemLatencyCycles)
+	return nil
+}
+
+func fig1(h *harness.Harness, _ int) error {
+	rows, err := h.Fig1([]int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Println("in-sequence fraction vs SMT thread count (128-entry window):")
+	for _, r := range rows {
+		fmt.Printf("  %d thread(s): %5.1f%%   (paper: 1T~22%%, 2T~35%%, 4T~52%%, 8T~65%%)\n",
+			r.Threads, 100*r.InSeqFrac)
+	}
+	return nil
+}
+
+func fig2(h *harness.Harness, _ int) error {
+	res, err := h.Fig2()
+	if err != nil {
+		return err
+	}
+	fmt.Println("weighted CDF of consecutive series lengths (single-thread, 128-entry window):")
+	fmt.Printf("  mean series length: in-seq %.1f, reordered %.1f (paper: 5-20 per group)\n",
+		res.MeanInSeqLen, res.MeanReorderedLen)
+	print := func(name string, cdf []metrics.CDFPoint) {
+		fmt.Printf("  %-10s", name)
+		for _, limit := range []int64{1, 2, 4, 8, 16, 32, 64, 128} {
+			frac := 0.0
+			for _, p := range cdf {
+				if p.Length <= limit {
+					frac = p.CumFrac
+				}
+			}
+			fmt.Printf("  <=%-3d %4.0f%%", limit, 100*frac)
+		}
+		fmt.Println()
+	}
+	print("in-seq", res.InSeq)
+	print("reordered", res.Reordered)
+	return nil
+}
+
+func fig10(h *harness.Harness, threads int) error {
+	rows, err := h.Fig10(threads)
+	if err != nil {
+		return err
+	}
+	cons := make([]float64, len(rows))
+	opt := make([]float64, len(rows))
+	dbl := make([]float64, len(rows))
+	for i, r := range rows {
+		cons[i] = r.Improvement(r.ShelfCons)
+		opt[i] = r.Improvement(r.ShelfOpt)
+		dbl[i] = r.Improvement(r.Base128)
+	}
+	sOpt, err := harness.Summarize(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("STP improvement over base64 (%d mixes):\n", len(rows))
+	fmt.Printf("%-28s %10s %10s %10s\n", "mix", "shelf-cons", "shelf-opt", "base128")
+	for _, idx := range []int{sOpt.MinMix, sOpt.MedianMix, sOpt.MaxMix} {
+		fmt.Printf("%-28s %9.1f%% %9.1f%% %9.1f%%\n",
+			rows[idx].Mix.Name(), 100*cons[idx], 100*opt[idx], 100*dbl[idx])
+	}
+	sCons, err := harness.Summarize(cons)
+	if err != nil {
+		return err
+	}
+	sDbl, err := harness.Summarize(dbl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %9.1f%% %9.1f%% %9.1f%%\n", "geomean", 100*sCons.GeoMean, 100*sOpt.GeoMean, 100*sDbl.GeoMean)
+	fmt.Printf("(paper: cons 8.6%% avg/15.1%% max, opt 11.5%% avg/19.2%% max; base128 is the upper bound)\n")
+	return nil
+}
+
+func fig11(h *harness.Harness, threads int) error {
+	rows10, err := h.Fig10(threads)
+	if err != nil {
+		return err
+	}
+	opt := make([]float64, len(rows10))
+	for i, r := range rows10 {
+		opt[i] = r.Improvement(r.ShelfOpt)
+	}
+	s, err := harness.Summarize(opt)
+	if err != nil {
+		return err
+	}
+	rows, err := h.Fig11(threads, []int{s.MinMix, s.MedianMix, s.MaxMix})
+	if err != nil {
+		return err
+	}
+	labels := []string{"min", "median", "max"}
+	fmt.Println("per-thread in-sequence fraction (baseline OOO) for selected mixes:")
+	var all []float64
+	for i, r := range rows {
+		fmt.Printf("  %-7s %-28s", labels[i], r.Mix.Name())
+		for j, f := range r.Fractions {
+			fmt.Printf("  %s=%4.1f%%", r.Workloads[j], 100*f)
+			all = append(all, f)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  mean over selected mixes: %.1f%% (paper: ~50%%)\n", 100*metrics.Mean(all))
+	return nil
+}
+
+func fig12(h *harness.Harness, threads int) error {
+	rows, err := h.Fig12(threads, true)
+	if err != nil {
+		return err
+	}
+	var prac, orac []float64
+	for _, r := range rows {
+		prac = append(prac, r.Practical/r.Base64-1)
+		orac = append(orac, r.Oracle/r.Base64-1)
+	}
+	sp, err := harness.Summarize(prac)
+	if err != nil {
+		return err
+	}
+	so, err := harness.Summarize(orac)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steering: STP improvement over base64 (%d mixes)\n", len(rows))
+	fmt.Printf("  practical: geomean %5.1f%%  [min %5.1f%%, max %5.1f%%]\n", 100*sp.GeoMean, 100*sp.Min, 100*sp.Max)
+	fmt.Printf("  oracle:    geomean %5.1f%%  [min %5.1f%%, max %5.1f%%]\n", 100*so.GeoMean, 100*so.Min, 100*so.Max)
+	fmt.Println("  (paper: practical captures most of oracle's improvement)")
+	return nil
+}
+
+func fig13(h *harness.Harness, threads int) error {
+	rows, err := h.Fig13(threads)
+	if err != nil {
+		return err
+	}
+	var cons, opt, dbl []float64
+	for _, r := range rows {
+		// EDP improvement: reduction relative to base64.
+		cons = append(cons, r.Base64/r.ShelfCons-1)
+		opt = append(opt, r.Base64/r.ShelfOpt-1)
+		dbl = append(dbl, r.Base64/r.Base128-1)
+	}
+	sc, err := harness.Summarize(cons)
+	if err != nil {
+		return err
+	}
+	so, err := harness.Summarize(opt)
+	if err != nil {
+		return err
+	}
+	sd, err := harness.Summarize(dbl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("EDP improvement over base64 (%d mixes):\n", len(rows))
+	fmt.Printf("  shelf-cons: geomean %5.1f%%  max %5.1f%%\n", 100*sc.GeoMean, 100*sc.Max)
+	fmt.Printf("  shelf-opt:  geomean %5.1f%%  max %5.1f%%\n", 100*so.GeoMean, 100*so.Max)
+	fmt.Printf("  base128:    geomean %5.1f%%\n", 100*sd.GeoMean)
+	fmt.Println("  (paper: cons 8.6%, opt 10.9% avg / 17.5% max; base128 4.9%)")
+	return nil
+}
+
+func table2(_ *harness.Harness, threads int) error {
+	sn, sw, bn, bw := harness.Table2(threads)
+	fmt.Println("area increase over base64:")
+	fmt.Printf("  %-22s %10s %10s\n", "", "base+shelf", "base128")
+	fmt.Printf("  %-22s %9.1f%% %9.1f%%   (paper: 3.1%% / 9.7%%)\n", "excluding L1", 100*sn, 100*bn)
+	fmt.Printf("  %-22s %9.1f%% %9.1f%%   (paper: 2.1%% / 6.6%%)\n", "including L1", 100*sw, 100*bw)
+	return nil
+}
+
+func fig14(h *harness.Harness, _ int) error {
+	rows, err := h.Fig14([]int{1, 2}, true)
+	if err != nil {
+		return err
+	}
+	fmt.Println("shelf with fewer threads (shelf64-opt vs base64):")
+	for _, r := range rows {
+		fmt.Printf("  %d thread(s): STP %+5.1f%%  EDP %+5.1f%%\n",
+			r.Threads, 100*r.STPImprovement, 100*r.EDPImprovement)
+	}
+	fmt.Println("  (paper: ~0% at 1 thread — no loss — and a modest gain at 2)")
+	return nil
+}

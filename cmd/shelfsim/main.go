@@ -1,0 +1,137 @@
+// Command shelfsim runs one simulation and prints a summary: pick a
+// configuration, a set of kernels (one per thread), an instruction budget
+// and a steering policy.
+//
+// Examples:
+//
+//	shelfsim -config shelf64-opt -kernels stream,ptrchase,branchy,matblock -insts 200000
+//	shelfsim -config base64 -threads 1 -kernels ptrchase -insts 100000
+//	shelfsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shelfsim"
+)
+
+func main() {
+	var (
+		configName = flag.String("config", "shelf64-opt", "configuration: base64, base128, shelf64-cons, shelf64-opt")
+		kernelsCSV = flag.String("kernels", "", "comma-separated kernel names, one per thread")
+		threads    = flag.Int("threads", 0, "thread count (default: number of kernels)")
+		insts      = flag.Int64("insts", 200_000, "retired instructions per thread")
+		steerName  = flag.String("steer", "", "override steering: all-iq, all-shelf, oracle, practical, coarse")
+		list       = flag.Bool("list", false, "list available kernels and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range shelfsim.Kernels() {
+			fmt.Println(k)
+		}
+		return
+	}
+
+	names := splitCSV(*kernelsCSV)
+	if len(names) == 0 {
+		names = []string{"stream", "ptrchase", "branchy", "matblock"}
+	}
+	n := *threads
+	if n == 0 {
+		n = len(names)
+	}
+	if len(names) != n {
+		fatalf("need %d kernels for %d threads, got %d", n, n, len(names))
+	}
+
+	var cfg shelfsim.Config
+	switch *configName {
+	case "base64":
+		cfg = shelfsim.Base64(n)
+	case "base128":
+		cfg = shelfsim.Base128(n)
+	case "shelf64-cons":
+		cfg = shelfsim.Shelf64(n, false)
+	case "shelf64-opt":
+		cfg = shelfsim.Shelf64(n, true)
+	default:
+		fatalf("unknown config %q", *configName)
+	}
+	if *steerName != "" {
+		switch *steerName {
+		case "all-iq":
+			cfg.Steer = shelfsim.SteerAllIQ
+		case "all-shelf":
+			cfg.Steer = shelfsim.SteerAllShelf
+		case "oracle":
+			cfg.Steer = shelfsim.SteerOracle
+		case "practical":
+			cfg.Steer = shelfsim.SteerPractical
+		case "coarse":
+			cfg.Steer = shelfsim.SteerCoarse
+			cfg.CoarseInterval = 1000
+		default:
+			fatalf("unknown steering %q", *steerName)
+		}
+	}
+
+	res, err := shelfsim.RunKernels(cfg, names, *insts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printResult(res)
+}
+
+func printResult(res shelfsim.Result) {
+	s := res.Stats
+	fmt.Printf("config      %s\n", res.Config)
+	fmt.Printf("cycles      %d\n", res.Cycles)
+	fmt.Printf("retired     %d  (IPC %.3f)\n", s.Retired, s.IPC())
+	fmt.Printf("issues      %d  (shelf %d = %.1f%%)\n", s.Issues, s.ShelfIssues,
+		pct(s.ShelfIssues, s.Issues))
+	fmt.Printf("squashes    %d  (filtered writebacks %d)\n", s.Squashes, s.SquashedWritebacksFiltered)
+	fmt.Printf("occupancy   rob %.1f  iq %.1f  shelf %.1f  lq %.1f  sq %.1f  prf %.1f\n",
+		s.AvgOccupancy(s.ROBOccupancy), s.AvgOccupancy(s.IQOccupancy),
+		s.AvgOccupancy(s.ShelfOccupancy), s.AvgOccupancy(s.LQOccupancy),
+		s.AvgOccupancy(s.SQOccupancy), s.AvgOccupancy(s.PRFOccupancy))
+	fmt.Printf("caches      L1D %.1f%% miss  L2 %.1f%% miss\n",
+		100*res.L1D.MissRate(), 100*res.L2.MissRate())
+	fmt.Println()
+	fmt.Printf("%-12s %10s %8s %8s %8s %8s %8s\n",
+		"thread", "retired", "CPI", "inseq%", "shelf%", "squash", "viol")
+	for i, t := range res.Threads {
+		fmt.Printf("%d:%-10s %10d %8.3f %7.1f%% %7.1f%% %8d %8d\n",
+			i, t.Workload, t.Retired, t.CPI, 100*t.InSeqFraction, 100*t.ShelfFraction,
+			t.Squashes, t.MemViolations)
+	}
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "shelfsim: "+format+"\n", args...)
+	os.Exit(1)
+}

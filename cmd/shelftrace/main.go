@@ -1,0 +1,152 @@
+// Command shelftrace records workload kernels to trace files and replays
+// them through the simulator. Frozen traces pin workloads for regression
+// comparisons independent of future kernel changes.
+//
+//	shelftrace record -kernel stencil -n 100000 -o stencil.trc
+//	shelftrace info stencil.trc
+//	shelftrace run -config shelf64-opt -insts 20000 a.trc b.trc c.trc d.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shelfsim"
+	"shelfsim/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "run":
+		runTraces(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: shelftrace record|info|run ...")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	kernel := fs.String("kernel", "", "kernel name to record")
+	n := fs.Int64("n", 100_000, "instructions to record")
+	out := fs.String("o", "", "output trace file")
+	seed := fs.Uint64("seed", 1, "stream seed")
+	base := fs.Uint64("base", 1<<32, "data region base address")
+	fs.Parse(args)
+	if *kernel == "" || *out == "" {
+		fatalf("record needs -kernel and -o")
+	}
+	k, err := shelfsim.KernelByName(*kernel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	count, err := trace.Record(f, k.NewStream(*base, *seed, *n), -1)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("recorded %d instructions of %s to %s\n", count, *kernel, *out)
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		fatalf("info needs one trace file")
+	}
+	r := openTrace(args[0])
+	var loads, stores, branches int
+	var in shelfsim.Inst
+	for r.Next(&in) {
+		switch {
+		case in.Op.String() == "load":
+			loads++
+		case in.Op.String() == "store":
+			stores++
+		case in.Op.String() == "branch":
+			branches++
+		}
+	}
+	total := r.Len()
+	fmt.Printf("%s: %q, %d instructions (%.1f%% loads, %.1f%% stores, %.1f%% branches)\n",
+		args[0], r.Name(), total,
+		pct(loads, total), pct(stores, total), pct(branches, total))
+}
+
+func runTraces(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	configName := fs.String("config", "shelf64-opt", "base64, base128, shelf64-cons, shelf64-opt")
+	insts := fs.Int64("insts", 10_000, "measured instructions per thread")
+	fs.Parse(args)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fatalf("run needs trace files")
+	}
+
+	var cfg shelfsim.Config
+	switch *configName {
+	case "base64":
+		cfg = shelfsim.Base64(len(paths))
+	case "base128":
+		cfg = shelfsim.Base128(len(paths))
+	case "shelf64-cons":
+		cfg = shelfsim.Shelf64(len(paths), false)
+	case "shelf64-opt":
+		cfg = shelfsim.Shelf64(len(paths), true)
+	default:
+		fatalf("unknown config %q", *configName)
+	}
+
+	streams := make([]shelfsim.Stream, len(paths))
+	for i, p := range paths {
+		streams[i] = openTrace(p)
+	}
+	res, err := shelfsim.RunStreams(cfg, streams, *insts/2, *insts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("config %s: %d cycles, IPC %.3f\n", res.Config, res.Cycles, res.Stats.IPC())
+	for i, t := range res.Threads {
+		fmt.Printf("  thread %d (%s): CPI %.3f, %.1f%% in-seq, %.1f%% shelved\n",
+			i, t.Workload, t.CPI, 100*t.InSeqFraction, 100*t.ShelfFraction)
+	}
+}
+
+func openTrace(path string) *trace.Reader {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return r
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "shelftrace: "+format+"\n", args...)
+	os.Exit(1)
+}

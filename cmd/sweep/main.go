@@ -1,0 +1,145 @@
+// Command sweep runs parameter sweeps over the shelf design space and
+// emits CSV (one row per parameter value), for plotting design-space
+// curves: shelf capacity, ROB size, IQ size, RCT width, PLT size, and
+// coarse-switching interval.
+//
+//	sweep -param shelf -values 0,16,32,64,128 -mixes 8 -insts 4000
+//	sweep -param rob -values 32,64,96,128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/harness"
+	"shelfsim/internal/metrics"
+)
+
+func main() {
+	var (
+		param  = flag.String("param", "shelf", "shelf, rob, iq, rctbits, plt, interval")
+		values = flag.String("values", "", "comma-separated parameter values")
+		mixes  = flag.Int("mixes", 8, "number of balanced-random mixes")
+		insts  = flag.Int64("insts", 4000, "measured instructions per thread")
+		thread = flag.Int("threads", 4, "SMT thread count")
+	)
+	flag.Parse()
+
+	vals, err := parseValues(*values, *param)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	h := harness.New(*insts, *mixes)
+	base := config.Base64(*thread)
+
+	fmt.Println("param,value,geomean_stp,geomean_stp_improvement,geomean_ipc,shelved_frac")
+	for _, v := range vals {
+		cfg, err := configure(*param, v, *thread)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var stps, baseSTPs, ipcs []float64
+		var shelfIssues, issues int64
+		for _, mix := range h.Mixes(*thread) {
+			res, err := h.Run(cfg, mix)
+			if err != nil {
+				fatalf("%s=%d on %s: %v", *param, v, mix.Name(), err)
+			}
+			stp, err := h.STP(mix, res)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			rb, err := h.Run(base, mix)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			bstp, err := h.STP(mix, rb)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			stps = append(stps, stp)
+			baseSTPs = append(baseSTPs, stp/bstp)
+			ipcs = append(ipcs, res.Stats.IPC())
+			shelfIssues += res.Stats.ShelfIssues
+			issues += res.Stats.Issues
+		}
+		gmSTP, _ := metrics.GeoMean(stps)
+		gmImp, _ := metrics.GeoMean(baseSTPs)
+		gmIPC, _ := metrics.GeoMean(ipcs)
+		shelved := 0.0
+		if issues > 0 {
+			shelved = float64(shelfIssues) / float64(issues)
+		}
+		fmt.Printf("%s,%d,%.4f,%.4f,%.4f,%.4f\n", *param, v, gmSTP, gmImp-1, gmIPC, shelved)
+	}
+}
+
+// configure builds the swept configuration for one parameter value.
+func configure(param string, v int64, threads int) (config.Config, error) {
+	cfg := config.Shelf64(threads, true)
+	switch param {
+	case "shelf":
+		cfg.Shelf = int(v)
+		if v == 0 {
+			cfg.Steer = config.SteerAllIQ
+		}
+	case "rob":
+		cfg.ROB = int(v)
+		if cfg.PRF < cfg.ROB {
+			cfg.PRF = cfg.ROB + 64
+		}
+	case "iq":
+		cfg.IQ = int(v)
+	case "rctbits":
+		cfg.RCTBits = uint(v)
+	case "plt":
+		cfg.PLTLoads = int(v)
+	case "interval":
+		cfg = config.Coarse64(threads, v)
+	default:
+		return cfg, fmt.Errorf("unknown parameter %q", param)
+	}
+	cfg.Name = fmt.Sprintf("%s-%d", param, v)
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("%s=%d: %w", param, v, err)
+	}
+	return cfg, nil
+}
+
+// parseValues parses the -values list, with per-parameter defaults.
+func parseValues(s, param string) ([]int64, error) {
+	if s == "" {
+		defaults := map[string][]int64{
+			"shelf":    {0, 16, 32, 64, 128},
+			"rob":      {32, 64, 96, 128},
+			"iq":       {16, 32, 48, 64},
+			"rctbits":  {3, 4, 5, 6, 8},
+			"plt":      {0, 2, 4, 8},
+			"interval": {100, 1000, 10000},
+		}
+		if vals, ok := defaults[param]; ok {
+			return vals, nil
+		}
+		return nil, fmt.Errorf("no default values for %q", param)
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

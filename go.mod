@@ -1,0 +1,3 @@
+module shelfsim
+
+go 1.22

@@ -1,0 +1,265 @@
+// Package config defines the simulator configuration and the paper's
+// Table I presets: the 4-thread baseline (64-entry ROB), the
+// shelf-augmented designs (conservative and optimistic), and the doubled
+// 128-entry upper-bound core.
+package config
+
+import (
+	"fmt"
+
+	"shelfsim/internal/branch"
+	"shelfsim/internal/mem"
+	"shelfsim/internal/storesets"
+)
+
+// SteerKind selects the dispatch steering policy (§IV).
+type SteerKind uint8
+
+const (
+	// SteerAllIQ sends every instruction to the issue queue: the pure OOO
+	// baseline (the shelf, if present, stays empty).
+	SteerAllIQ SteerKind = iota
+	// SteerAllShelf sends every instruction to the shelf, degenerating to
+	// an in-order core.
+	SteerAllShelf
+	// SteerOracle steers each instruction to whichever side issues it
+	// earlier, using perfect knowledge of the future schedule (greedy
+	// oracle, §IV-A).
+	SteerOracle
+	// SteerPractical is the hardware mechanism of §IV-B: Ready Cycle
+	// Table + Parent Loads Table + earliest-issue/writeback trackers.
+	SteerPractical
+	// SteerCoarse is the MorphCore-style comparison point the paper
+	// argues against (§VI): each thread switches wholesale between
+	// OOO (all-IQ) and in-order (all-shelf) modes at a fixed instruction
+	// interval, based on the previous interval's measured in-sequence
+	// fraction. It cannot interleave in-sequence and reordered
+	// instructions within one window.
+	SteerCoarse
+)
+
+// String names the steering policy.
+func (s SteerKind) String() string {
+	switch s {
+	case SteerAllIQ:
+		return "all-iq"
+	case SteerAllShelf:
+		return "all-shelf"
+	case SteerOracle:
+		return "oracle"
+	case SteerPractical:
+		return "practical"
+	case SteerCoarse:
+		return "coarse"
+	default:
+		return fmt.Sprintf("steer(%d)", uint8(s))
+	}
+}
+
+// Config is the complete core + memory system configuration. All window
+// structure sizes are totals that are partitioned evenly across threads
+// where the paper partitions them (ROB, LQ, SQ, shelf, fetch buffers); the
+// IQ and PRF are shared.
+type Config struct {
+	// Threads is the SMT thread count (1..8).
+	Threads int
+
+	// FetchWidth is instructions fetched per cycle (paper: 8).
+	FetchWidth int
+	// Width is the dispatch/issue/writeback/retire width (paper: 4-wide).
+	Width int
+	// FetchToDispatch is the front-end depth in cycles (paper: 6).
+	FetchToDispatch int
+
+	// ROB is the total reorder buffer capacity (partitioned per thread).
+	ROB int
+	// IQ is the shared unordered issue queue capacity.
+	IQ int
+	// LQ and SQ are the total load/store queue capacities (partitioned).
+	LQ int
+	SQ int
+	// PRF is the number of physical registers per register file (one
+	// integer and one FP file of this size each), beyond the per-thread
+	// architectural state.
+	PRF int
+
+	// Shelf is the total shelf capacity (partitioned per thread);
+	// 0 disables the shelf entirely.
+	Shelf int
+	// OptimisticShelf selects the §III-A same-cycle-issue assumption: the
+	// shelf head may issue in the same cycle as the last elder IQ
+	// instruction of its run. When false (conservative), the
+	// issue-tracking bitvector update is not bypassed and the shelf head
+	// issues at earliest the following cycle.
+	OptimisticShelf bool
+	// SingleSSR is the §III-B ablation: the shelf checks the IQ SSR
+	// directly instead of a copied shelf SSR, re-exposing the starvation
+	// pathology the paper's two-SSR design avoids.
+	SingleSSR bool
+	// ShelfReleaseAtWriteback is the §III-B ablation: shelf entries are
+	// recycled only at writeback instead of at issue, increasing shelf
+	// occupancy.
+	ShelfReleaseAtWriteback bool
+
+	// Steer selects the dispatch steering policy.
+	Steer SteerKind
+	// RCTBits is the Ready Cycle Table counter width (paper: 5 bits).
+	RCTBits uint
+	// PLTLoads is the number of tracked parent loads per thread (paper: 4).
+	PLTLoads int
+	// CoarseInterval is the per-thread switching interval, in retired
+	// instructions, for the SteerCoarse policy (prior coarse-grain hybrid
+	// designs switch at thousand-instruction granularity).
+	CoarseInterval int64
+
+	// IntALUs, IntMultDiv, FPUnits, MemPorts bound per-cycle issue by
+	// functional unit class.
+	IntALUs    int
+	IntMultDiv int
+	FPUnits    int
+	MemPorts   int
+
+	// Mem, Branch, StoreSets configure the substrates.
+	Mem       mem.HierarchyConfig
+	Branch    branch.Config
+	StoreSets storesets.Config
+
+	// Name labels the configuration in reports.
+	Name string
+}
+
+// Validate reports the first configuration error found.
+func (c *Config) Validate() error {
+	switch {
+	case c.Threads < 1 || c.Threads > 8:
+		return fmt.Errorf("config: thread count %d out of range [1,8]", c.Threads)
+	case c.FetchWidth <= 0 || c.Width <= 0:
+		return fmt.Errorf("config: non-positive widths fetch=%d width=%d", c.FetchWidth, c.Width)
+	case c.FetchToDispatch < 1:
+		return fmt.Errorf("config: front-end depth %d must be >= 1", c.FetchToDispatch)
+	case c.ROB < c.Threads:
+		return fmt.Errorf("config: ROB %d smaller than thread count %d", c.ROB, c.Threads)
+	case c.ROB%c.Threads != 0:
+		return fmt.Errorf("config: ROB %d not divisible by %d threads", c.ROB, c.Threads)
+	case c.IQ <= 0:
+		return fmt.Errorf("config: non-positive IQ %d", c.IQ)
+	case c.LQ%c.Threads != 0 || c.SQ%c.Threads != 0:
+		return fmt.Errorf("config: LQ %d / SQ %d not divisible by %d threads", c.LQ, c.SQ, c.Threads)
+	case c.LQ <= 0 || c.SQ <= 0:
+		return fmt.Errorf("config: non-positive LQ %d / SQ %d", c.LQ, c.SQ)
+	case c.PRF < c.ROB:
+		return fmt.Errorf("config: PRF %d smaller than ROB %d (renaming would deadlock)", c.PRF, c.ROB)
+	case c.Shelf < 0:
+		return fmt.Errorf("config: negative shelf %d", c.Shelf)
+	case c.Shelf > 0 && c.Shelf%c.Threads != 0:
+		return fmt.Errorf("config: shelf %d not divisible by %d threads", c.Shelf, c.Threads)
+	case c.Shelf > 0 && (c.Shelf/c.Threads)&(c.Shelf/c.Threads-1) != 0:
+		return fmt.Errorf("config: per-thread shelf %d must be a power of two (doubled index space)", c.Shelf/c.Threads)
+	case c.RCTBits == 0 || c.RCTBits > 16:
+		return fmt.Errorf("config: RCT width %d out of range", c.RCTBits)
+	case c.PLTLoads < 0:
+		return fmt.Errorf("config: negative PLT size %d", c.PLTLoads)
+	case c.Steer == SteerCoarse && c.CoarseInterval <= 0:
+		return fmt.Errorf("config: coarse steering needs a positive interval, got %d", c.CoarseInterval)
+	case c.IntALUs <= 0 || c.IntMultDiv <= 0 || c.FPUnits <= 0 || c.MemPorts <= 0:
+		return fmt.Errorf("config: all functional unit counts must be positive")
+	}
+	if err := c.Branch.Validate(); err != nil {
+		return err
+	}
+	if err := c.StoreSets.Validate(); err != nil {
+		return err
+	}
+	for _, cc := range []mem.CacheConfig{c.Mem.L1I, c.Mem.L1D, c.Mem.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ROBPerThread returns the per-thread ROB partition size.
+func (c *Config) ROBPerThread() int { return c.ROB / c.Threads }
+
+// LQPerThread returns the per-thread load queue partition size.
+func (c *Config) LQPerThread() int { return c.LQ / c.Threads }
+
+// SQPerThread returns the per-thread store queue partition size.
+func (c *Config) SQPerThread() int { return c.SQ / c.Threads }
+
+// ShelfPerThread returns the per-thread shelf partition size (0 if the
+// shelf is disabled).
+func (c *Config) ShelfPerThread() int {
+	if c.Shelf == 0 {
+		return 0
+	}
+	return c.Shelf / c.Threads
+}
+
+// base returns the shared Table I parameters for a given thread count.
+func base(threads int) Config {
+	return Config{
+		Threads:         threads,
+		FetchWidth:      8,
+		Width:           4,
+		FetchToDispatch: 6,
+		RCTBits:         5,
+		PLTLoads:        4,
+		IntALUs:         4,
+		IntMultDiv:      1,
+		FPUnits:         2,
+		MemPorts:        2,
+		Mem:             mem.DefaultHierarchyConfig(),
+		Branch:          branch.DefaultConfig(),
+		StoreSets:       storesets.DefaultConfig(),
+	}
+}
+
+// Base64 is the paper's baseline: 64-entry ROB, 32-entry IQ/LQ/SQ, no
+// shelf, all instructions to the IQ.
+func Base64(threads int) Config {
+	c := base(threads)
+	c.Name = "base64"
+	c.ROB, c.IQ, c.LQ, c.SQ = 64, 32, 32, 32
+	c.PRF = 128
+	c.Steer = SteerAllIQ
+	return c
+}
+
+// Base128 is the doubled design: the paper's theoretical upper bound for
+// the shelf's improvement.
+func Base128(threads int) Config {
+	c := base(threads)
+	c.Name = "base128"
+	c.ROB, c.IQ, c.LQ, c.SQ = 128, 64, 64, 64
+	c.PRF = 224
+	c.Steer = SteerAllIQ
+	return c
+}
+
+// Coarse64 is Base64 plus the same 64-entry shelf driven by the
+// MorphCore-style coarse-grain switching policy (§VI comparison): whole
+// threads flip between OOO and in-order modes every `interval` retired
+// instructions.
+func Coarse64(threads int, interval int64) Config {
+	c := Shelf64(threads, true)
+	c.Steer = SteerCoarse
+	c.CoarseInterval = interval
+	c.Name = fmt.Sprintf("coarse64-%d", interval)
+	return c
+}
+
+// Shelf64 is Base64 plus a 64-entry shelf with practical steering.
+// optimistic selects the §III-A microarchitecture assumption.
+func Shelf64(threads int, optimistic bool) Config {
+	c := Base64(threads)
+	c.Shelf = 64
+	c.OptimisticShelf = optimistic
+	c.Steer = SteerPractical
+	if optimistic {
+		c.Name = "shelf64-opt"
+	} else {
+		c.Name = "shelf64-cons"
+	}
+	return c
+}

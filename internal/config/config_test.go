@@ -1,0 +1,104 @@
+package config
+
+import "testing"
+
+func TestPresetsValid(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		for _, cfg := range []Config{
+			Base64(threads),
+			Base128(threads),
+			Shelf64(threads, false),
+			Shelf64(threads, true),
+		} {
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("%s (%d threads): %v", cfg.Name, threads, err)
+			}
+		}
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	b := Base64(4)
+	if b.ROB != 64 || b.IQ != 32 || b.Shelf != 0 || b.Steer != SteerAllIQ {
+		t.Errorf("Base64 shape wrong: %+v", b)
+	}
+	d := Base128(4)
+	if d.ROB != 128 || d.IQ != 64 {
+		t.Errorf("Base128 shape wrong: %+v", d)
+	}
+	s := Shelf64(4, true)
+	if s.Shelf != 64 || !s.OptimisticShelf || s.Steer != SteerPractical {
+		t.Errorf("Shelf64 shape wrong: %+v", s)
+	}
+	if c := Shelf64(4, false); c.OptimisticShelf || c.Name != "shelf64-cons" {
+		t.Errorf("conservative preset wrong: %+v", c)
+	}
+}
+
+func TestPerThreadHelpers(t *testing.T) {
+	cfg := Shelf64(4, true)
+	if cfg.ROBPerThread() != 16 {
+		t.Errorf("ROB/thread = %d, want 16", cfg.ROBPerThread())
+	}
+	if cfg.LQPerThread() != 8 || cfg.SQPerThread() != 8 {
+		t.Error("LQ/SQ partitions wrong")
+	}
+	if cfg.ShelfPerThread() != 16 {
+		t.Errorf("shelf/thread = %d, want 16", cfg.ShelfPerThread())
+	}
+	noShelf := Base64(4)
+	if noShelf.ShelfPerThread() != 0 {
+		t.Error("no-shelf config must report 0 per-thread shelf")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"threads0", func(c *Config) { c.Threads = 0 }},
+		{"threads9", func(c *Config) { c.Threads = 9 }},
+		{"width0", func(c *Config) { c.Width = 0 }},
+		{"frontend0", func(c *Config) { c.FetchToDispatch = 0 }},
+		{"robSmall", func(c *Config) { c.ROB = 2; c.Threads = 4 }},
+		{"robIndivisible", func(c *Config) { c.ROB = 66 }},
+		{"iq0", func(c *Config) { c.IQ = 0 }},
+		{"lqIndivisible", func(c *Config) { c.LQ = 33 }},
+		{"sq0", func(c *Config) { c.SQ = 0; c.LQ = 0 }},
+		{"prfSmall", func(c *Config) { c.PRF = 1 }},
+		{"shelfNegative", func(c *Config) { c.Shelf = -4 }},
+		{"shelfIndivisible", func(c *Config) { c.Shelf = 66 }},
+		{"shelfNotPow2", func(c *Config) { c.Shelf = 48 }}, // 12/thread
+		{"rct0", func(c *Config) { c.RCTBits = 0 }},
+		{"pltNegative", func(c *Config) { c.PLTLoads = -1 }},
+		{"noALUs", func(c *Config) { c.IntALUs = 0 }},
+		{"badBranch", func(c *Config) { c.Branch.GshareBits = 0 }},
+		{"badSSets", func(c *Config) { c.StoreSets.MaxSets = 0 }},
+		{"badCache", func(c *Config) { c.Mem.L1D.Ways = 0 }},
+	}
+	for _, m := range mutations {
+		cfg := Shelf64(4, true)
+		m.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", m.name)
+		}
+	}
+}
+
+func TestSteerKindString(t *testing.T) {
+	names := map[SteerKind]string{
+		SteerAllIQ:     "all-iq",
+		SteerAllShelf:  "all-shelf",
+		SteerOracle:    "oracle",
+		SteerPractical: "practical",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if SteerKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+// classifyAtIssue applies the paper's §II definition at the moment u
+// issues: u is *in-sequence* iff a simple in-order core would have issued
+// it at the same point, i.e.
+//
+//	(a) every elder instruction of the thread has already issued
+//	    (data/structural ordering: the INO core issues in program order),
+//	(b) no elder instruction's speculation resolves after u's earliest
+//	    writeback (the INO core's result shift register would stall u), and
+//	(c) the previous writer of u's destination register has written back
+//	    (the INO scoreboard's WAW stall).
+//
+// Otherwise u is reordered: it benefited from the OOO machinery.
+func (c *Core) classifyAtIssue(t *thread, u *uop, now int64) {
+	wb := now + minExecDelay(u)
+	inSeq := true
+	for _, v := range t.inflight {
+		if v.seq >= u.seq {
+			break
+		}
+		if !v.issued() {
+			inSeq = false
+			break
+		}
+		if v.speculative && v.resolveCycle > wb {
+			inSeq = false
+			break
+		}
+		if u.hasDest() && v.hasDest() && v.archDest == u.archDest && !v.completed() {
+			inSeq = false
+			break
+		}
+	}
+	u.inSeq = inSeq
+}

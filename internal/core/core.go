@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/isa"
+	"shelfsim/internal/mem"
+	"shelfsim/internal/storesets"
+)
+
+// Core is one SMT out-of-order core with an optional shelf. Construct with
+// New, attach one instruction stream per thread, then drive with Step or
+// Run.
+type Core struct {
+	cfg     config.Config
+	hier    *mem.Hierarchy
+	ssets   *storesets.Predictor
+	threads []*thread
+	steerer Steerer
+
+	cycle int64
+	gseq  int64
+
+	// Unified physical register file: per-thread architectural blocks
+	// followed by the shared rename pool. Tags index the same space,
+	// extended by the shelf's extension tag space (§III-C).
+	numPRIs  int
+	extBase  int
+	extSize  int
+	freePRI  []int32
+	freeExt  []int32
+	tagReady []bool
+
+	// iq is the shared unordered issue queue.
+	iq []*uop
+
+	// events is a min-heap of pending completions ordered by cycle.
+	events eventHeap
+
+	// Functional units: pipelined classes are per-cycle counters;
+	// unpipelined divides reserve a unit until done.
+	fuBusyUntil struct {
+		intMD []int64
+		fp    []int64
+	}
+
+	// fetchRR breaks ICOUNT ties round-robin.
+	fetchRR int
+
+	stats Stats
+}
+
+// New builds a core for cfg with one workload stream per thread. It
+// returns an error if the configuration is invalid or the stream count
+// does not match the thread count.
+func New(cfg config.Config, streams []isa.Stream) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(streams) != cfg.Threads {
+		return nil, fmt.Errorf("core: %d streams for %d threads", len(streams), cfg.Threads)
+	}
+	c := &Core{
+		cfg:   cfg,
+		hier:  mem.NewHierarchy(cfg.Mem),
+		ssets: storesets.New(cfg.StoreSets),
+	}
+	c.numPRIs = cfg.Threads*isa.NumArchRegs + cfg.PRF
+	c.extBase = c.numPRIs
+	c.extSize = 2*cfg.Shelf + cfg.ROB
+	if cfg.Shelf == 0 {
+		c.extSize = 0
+	}
+	c.tagReady = make([]bool, c.numPRIs+c.extSize)
+
+	// The rename pool is free; architectural mappings are ready.
+	c.freePRI = make([]int32, 0, cfg.PRF)
+	for i := cfg.Threads * isa.NumArchRegs; i < c.numPRIs; i++ {
+		c.freePRI = append(c.freePRI, int32(i))
+	}
+	for i := 0; i < cfg.Threads*isa.NumArchRegs; i++ {
+		c.tagReady[i] = true
+	}
+	c.freeExt = make([]int32, 0, c.extSize)
+	for i := 0; i < c.extSize; i++ {
+		c.freeExt = append(c.freeExt, int32(c.extBase+i))
+	}
+
+	c.iq = make([]*uop, 0, cfg.IQ)
+	c.fuBusyUntil.intMD = make([]int64, cfg.IntMultDiv)
+	c.fuBusyUntil.fp = make([]int64, cfg.FPUnits)
+
+	c.threads = make([]*thread, cfg.Threads)
+	for i, s := range streams {
+		if s == nil {
+			return nil, fmt.Errorf("core: nil stream for thread %d", i)
+		}
+		c.threads[i] = newThread(c, i, s)
+	}
+
+	switch cfg.Steer {
+	case config.SteerAllIQ:
+		c.steerer = allIQSteerer{}
+	case config.SteerAllShelf:
+		c.steerer = allShelfSteerer{}
+	case config.SteerOracle:
+		c.steerer = &oracleSteerer{}
+	case config.SteerPractical:
+		c.steerer = &practicalSteerer{}
+	case config.SteerCoarse:
+		c.steerer = &coarseSteerer{}
+	default:
+		return nil, fmt.Errorf("core: unknown steering policy %v", cfg.Steer)
+	}
+	if cfg.Shelf == 0 && cfg.Steer != config.SteerAllIQ {
+		return nil, fmt.Errorf("core: steering policy %v requires a shelf", cfg.Steer)
+	}
+	return c, nil
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() config.Config { return c.cfg }
+
+// Hierarchy exposes the memory system for statistics.
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// SetRetireTargets gives each thread a warmup of `warmup` retired
+// instructions (caches and predictors train, statistics discarded)
+// followed by a measurement window of `measure` retired instructions.
+// Threads keep running — and contending for shared resources — until
+// every thread closes its window, so per-thread CPIs reflect realistic
+// multiprogrammed interference throughout.
+func (c *Core) SetRetireTargets(warmup, measure int64) {
+	for _, t := range c.threads {
+		t.warmupTarget = warmup
+		t.retireTarget = measure
+		if warmup > 0 {
+			t.warmed = false
+		}
+	}
+}
+
+// Done reports whether every thread has finished: reached its retire
+// target if one is set, or retired its entire (bounded) stream otherwise.
+func (c *Core) Done() bool {
+	for _, t := range c.threads {
+		if t.retireTarget > 0 {
+			if !t.targetReached {
+				return false
+			}
+		} else if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the core by one cycle. Stage order is back to front so
+// that in-flight state moves at most one stage per cycle: writeback events
+// first, then retire, issue, dispatch, fetch.
+func (c *Core) Step() {
+	c.cycle++
+	now := c.cycle
+
+	// Per-cycle state ticks.
+	for _, t := range c.threads {
+		if t.iqSSR > 0 {
+			t.iqSSR--
+		}
+		if t.shelfSSR > 0 {
+			t.shelfSSR--
+		}
+		t.itHeadSnapshot = t.itHead
+	}
+	c.steerer.Tick(c)
+
+	c.drainEvents(now)
+	c.retire(now)
+	issuesBefore, dispatchBefore := c.stats.Issues, c.stats.Renames
+	c.issue(now)
+	c.dispatch(now)
+	if DebugSlots.Enable {
+		DebugSlots.Issue[c.stats.Issues-issuesBefore]++
+		DebugSlots.Dispatch[c.stats.Renames-dispatchBefore]++
+	}
+	c.fetch(now)
+
+	c.accumulateOccupancy()
+}
+
+// Run steps the core until every thread finishes or maxCycles elapses; it
+// returns the number of cycles executed and whether all threads finished.
+func (c *Core) Run(maxCycles int64) (cycles int64, finished bool) {
+	start := c.cycle
+	for !c.Done() {
+		if maxCycles > 0 && c.cycle-start >= maxCycles {
+			return c.cycle - start, false
+		}
+		c.Step()
+	}
+	for _, t := range c.threads {
+		if !t.frozenSeries {
+			t.series.Finish()
+		}
+	}
+	return c.cycle - start, true
+}
+
+// accumulateOccupancy integrates structure occupancies for the energy
+// model and for reporting.
+func (c *Core) accumulateOccupancy() {
+	s := &c.stats
+	s.Cycles++
+	s.IQOccupancy += int64(len(c.iq))
+	s.PRFOccupancy += int64(c.cfg.PRF - len(c.freePRI))
+	s.ExtTagOccupancy += int64(c.extSize - len(c.freeExt))
+	for _, t := range c.threads {
+		s.ROBOccupancy += t.robAllocPos - t.robHead
+		s.LQOccupancy += int64(len(t.lq))
+		s.SQOccupancy += int64(len(t.sq))
+		if t.shelfCap > 0 {
+			s.ShelfOccupancy += t.shelfTail - t.shelfHead
+		}
+	}
+}
+
+// allocPRI pops a free physical register, or returns -1.
+func (c *Core) allocPRI() int32 {
+	if len(c.freePRI) == 0 {
+		return -1
+	}
+	p := c.freePRI[len(c.freePRI)-1]
+	c.freePRI = c.freePRI[:len(c.freePRI)-1]
+	return p
+}
+
+// freePhysReg returns a rename-pool register to the free list;
+// architectural-block registers are never freed.
+func (c *Core) freePhysReg(p int32) {
+	if int(p) >= c.cfg.Threads*isa.NumArchRegs && int(p) < c.numPRIs {
+		c.freePRI = append(c.freePRI, p)
+	}
+}
+
+// allocExtTag pops a free extension tag, or returns -1.
+func (c *Core) allocExtTag() int32 {
+	if len(c.freeExt) == 0 {
+		return -1
+	}
+	t := c.freeExt[len(c.freeExt)-1]
+	c.freeExt = c.freeExt[:len(c.freeExt)-1]
+	return t
+}
+
+// freeExtTag returns an extension tag to its free list.
+func (c *Core) freeExtTag(t int32) {
+	if int(t) >= c.extBase {
+		c.freeExt = append(c.freeExt, t)
+	}
+}
+
+// isExtTag reports whether tag lies in the extension space.
+func (c *Core) isExtTag(t int32) bool { return int(t) >= c.extBase }

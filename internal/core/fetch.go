@@ -1,0 +1,142 @@
+package core
+
+import "shelfsim/internal/isa"
+
+// fetch models the SMT front end: each cycle one thread is selected by the
+// ICOUNT policy (fewest instructions in the front end plus window, ties
+// broken round-robin) and up to FetchWidth instructions are fetched from
+// its stream, stopping at a predicted-taken branch. A fetch that misses in
+// the L1I stalls the thread until the fill returns. On a predicted-wrong
+// branch the thread's fetch blocks until the branch resolves (the
+// trace-driven stand-in for wrong-path fetch).
+func (c *Core) fetch(now int64) {
+	t := c.pickFetchThread(now)
+	if t == nil {
+		return
+	}
+	c.fetchRR = (t.id + 1) % len(c.threads)
+
+	// Instruction cache access for this fetch group.
+	first, ok := t.peekInst(t.fetchSeq)
+	if !ok {
+		return
+	}
+	ready, _ := c.hier.Fetch(first.PC, now)
+	if ready > now+int64(c.cfg.Mem.L1I.LatencyCycles) {
+		// I-cache miss: stall fetch until the fill returns.
+		t.nextFetchCycle = ready
+		return
+	}
+
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(t.fetchQ) >= t.fetchQCap {
+			return
+		}
+		inst, ok := t.peekInst(t.fetchSeq)
+		if !ok {
+			return
+		}
+		u := &uop{
+			inst:             inst,
+			tid:              t.id,
+			seq:              t.fetchSeq,
+			state:            stateFetched,
+			robPos:           -1,
+			shelfIdx:         -1,
+			archDest:         -1,
+			destPRI:          invalidTag,
+			destTag:          invalidTag,
+			prevPRI:          invalidTag,
+			prevTag:          invalidTag,
+			forwardedFromSeq: -1,
+			depStoreSeq:      -1,
+			pltCol:           -1,
+		}
+		if inst.HasDest() {
+			u.archDest = int32(inst.Dest)
+		}
+		t.fetchSeq++
+		t.fetched++
+		c.stats.Fetched++
+
+		stop := false
+		if inst.Op == isa.OpBranch {
+			predTaken, mispredict, token := t.pred.Predict(inst.PC, inst.Taken, inst.Target)
+			u.mispredict = mispredict
+			u.predToken = token
+			if mispredict {
+				// Fetch down the wrong path: block until resolution.
+				t.fetchBlockedOn = u
+				stop = true
+			} else if predTaken {
+				// Fetch group ends at a predicted-taken branch.
+				stop = true
+			}
+		}
+		t.fetchQ = append(t.fetchQ, u)
+		t.fetchQReady = append(t.fetchQReady, now+int64(c.cfg.FetchToDispatch))
+		if stop {
+			return
+		}
+	}
+}
+
+// pickFetchThread applies ICOUNT over fetchable threads.
+func (c *Core) pickFetchThread(now int64) *thread {
+	var best *thread
+	bestCount := 0
+	for i := 0; i < len(c.threads); i++ {
+		t := c.threads[(c.fetchRR+i)%len(c.threads)]
+		if t.done || t.fetchBlockedOn != nil || t.nextFetchCycle > now {
+			continue
+		}
+		if len(t.fetchQ) >= t.fetchQCap {
+			continue
+		}
+		if _, ok := t.peekInst(t.fetchSeq); !ok {
+			continue
+		}
+		if best == nil || t.icount() < bestCount {
+			best = t
+			bestCount = t.icount()
+		}
+	}
+	return best
+}
+
+// peekInst returns the architectural instruction at sequence number seq,
+// pulling from the workload stream (and growing the replay buffer) as
+// needed. It returns false once the stream is exhausted.
+func (t *thread) peekInst(seq int64) (isa.Inst, bool) {
+	for t.pulled <= seq {
+		if t.streamDone {
+			return isa.Inst{}, false
+		}
+		var inst isa.Inst
+		if !t.stream.Next(&inst) {
+			t.streamDone = true
+			return isa.Inst{}, false
+		}
+		t.replay = append(t.replay, replayEntry{inst: inst, seq: t.pulled})
+		t.pulled++
+	}
+	i := seq - t.replayBase
+	if i < 0 || i >= int64(len(t.replay)) {
+		panic("core: replay buffer does not cover requested sequence")
+	}
+	return t.replay[i].inst, true
+}
+
+// releaseReplay frees replay entries older than seq (called as
+// instructions fully retire).
+func (t *thread) releaseReplay(seq int64) {
+	drop := seq - t.replayBase
+	if drop <= 0 {
+		return
+	}
+	if drop > int64(len(t.replay)) {
+		drop = int64(len(t.replay))
+	}
+	t.replay = t.replay[drop:]
+	t.replayBase += drop
+}

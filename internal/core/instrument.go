@@ -1,0 +1,124 @@
+package core
+
+// SteerByOp is a development instrumentation counter: per op class, how
+// many instructions were steered to the shelf (index 0) vs the IQ (1).
+var SteerByOp = map[string]*[2]int64{}
+
+// DebugEnabled gates the per-instruction instrumentation below; when
+// false the record functions return immediately.
+var DebugEnabled bool
+
+func recordSteer(u *uop, toShelf bool) {
+	if !DebugEnabled {
+		return
+	}
+	key := u.inst.Op.String()
+	e := SteerByOp[key]
+	if e == nil {
+		e = &[2]int64{}
+		SteerByOp[key] = e
+	}
+	if toShelf {
+		e[0]++
+	} else {
+		e[1]++
+	}
+}
+
+// Debug ablation toggles (development only).
+var (
+	DebugNoSSR        bool // skip the shelf SSR delay check
+	DebugNoWAW        bool // skip the shelf WAW scoreboard stall
+	DebugNoElderStore bool // skip the elder-stores-resolved check for shelf mem ops
+	DebugNoRunCond    bool // skip the issue-tracking run condition
+)
+
+// DebugDelays accumulates issue and completion delays per (side, op).
+var DebugDelays = map[string]*[3]int64{} // [sum issue-dispatch, sum complete-issue, count]
+
+func recordIssueDelay(u *uop) {
+	if !DebugEnabled {
+		return
+	}
+	side := "iq."
+	if u.toShelf {
+		side = "sh."
+	}
+	key := side + u.inst.Op.String()
+	e := DebugDelays[key]
+	if e == nil {
+		e = &[3]int64{}
+		DebugDelays[key] = e
+	}
+	e[0] += u.issueCycle - u.dispatchCycle
+	e[1] += u.completeCycle - u.issueCycle
+	e[2]++
+}
+
+// DebugSlots histograms per-cycle dispatch and issue slot usage.
+var DebugSlots struct {
+	Dispatch [16]int64
+	Issue    [16]int64
+	Enable   bool
+}
+
+// DebugNoRetireCoord skips the ROB-vs-shelf retirement coordination.
+var DebugNoRetireCoord bool
+
+// DebugViolation, when set, is called on each memory-order violation.
+var DebugViolation func(store, load string)
+
+// DebugTraceThread, when >= 0, prints a timeline line per uop of that
+// thread between DebugTraceFrom and DebugTraceTo (sequence numbers).
+var (
+	DebugTraceThread int = -1
+	DebugTraceFrom   int64
+	DebugTraceTo     int64
+	DebugTraceFn     func(s string)
+)
+
+func traceUop(stage string, u *uop, now int64) {
+	if DebugTraceFn == nil || u.tid != DebugTraceThread || u.seq < DebugTraceFrom || u.seq > DebugTraceTo {
+		return
+	}
+	side := "iq"
+	if u.toShelf {
+		side = "sh"
+	}
+	DebugTraceFn(fmtTrace(stage, u, side, now))
+}
+
+func fmtTrace(stage string, u *uop, side string, now int64) string {
+	return stage + " " + u.inst.Op.String() + " seq=" + itoa(u.seq) + " " + side +
+		" disp=" + itoa(u.dispatchCycle) + " iss=" + itoa(u.issueCycle) +
+		" cmp=" + itoa(u.completeCycle) + " now=" + itoa(now)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// DebugSteerLoads prints steering computations for loads of one thread.
+var DebugSteerLoads func(s string)
+
+// TestIssueObserver, when non-nil, is invoked on every instruction issue
+// (used by tests to verify issue ordering properties).
+var TestIssueObserver func(tid int, seq int64, toShelf bool)

@@ -1,0 +1,132 @@
+package core
+
+import "shelfsim/internal/isa"
+
+// retire commits up to Width IQ instructions per cycle from the per-thread
+// ROB heads, in program order per thread, coordinated with out-of-order
+// shelf retirement through the shelf retire pointer (§III-B). It then
+// prunes each thread's in-flight list front, feeding the program-order
+// series tracker and retirement counters.
+func (c *Core) retire(now int64) {
+	budget := c.cfg.Width
+	n := len(c.threads)
+	start := int(now+1) % n
+	for i := 0; i < n && budget > 0; i++ {
+		t := c.threads[(start+i)%n]
+		for budget > 0 {
+			if !c.retireOne(t, now) {
+				break
+			}
+			budget--
+		}
+	}
+	for _, t := range c.threads {
+		c.pruneRetired(t, now)
+	}
+}
+
+// retireOne tries to retire thread t's ROB head.
+func (c *Core) retireOne(t *thread, now int64) bool {
+	u := t.robOldest()
+	if u == nil || !u.completed() {
+		return false
+	}
+	// ROB instructions may not retire before older shelf instructions:
+	// wait until the shelf retire pointer reaches the recorded index.
+	if t.shelfCap > 0 && t.shelfRetire < u.shelfSquashIdx && !DebugNoRetireCoord {
+		c.stats.ROBShelfWaits++
+		return false
+	}
+
+	u.state = stateRetired
+	t.robHead++
+	c.stats.ROBReads++
+	traceUop("retire", u, now)
+
+	// Free the previous mapping (§III-C): the physical register returns
+	// to the physical free list; a differing tag came from the extension
+	// space.
+	if u.hasDest() {
+		c.freePhysReg(u.prevPRI)
+		if u.prevTag != u.prevPRI {
+			c.freeExtTag(u.prevTag)
+		}
+	}
+
+	switch u.inst.Op {
+	case isa.OpStore:
+		// Drain the store through the coalescing store buffer.
+		if len(t.sq) == 0 || t.sq[0] != u {
+			panic("core: retiring store is not the SQ head")
+		}
+		t.sq = t.sq[1:]
+		c.hier.StoreCommit(u.inst.Addr, now)
+		t.commitStore(u.inst.Addr>>3, now)
+	case isa.OpLoad:
+		if len(t.lq) == 0 || t.lq[0] != u {
+			panic("core: retiring load is not the LQ head")
+		}
+		t.lq = t.lq[1:]
+	}
+	return true
+}
+
+// pruneRetired removes fully retired instructions from the front of the
+// in-flight list in program order, updating retirement statistics, the
+// series tracker and the replay buffer.
+func (c *Core) pruneRetired(t *thread, now int64) {
+	i := 0
+	for i < len(t.inflight) && t.inflight[i].state == stateRetired {
+		u := t.inflight[i]
+		t.retired++
+		c.stats.Retired++
+		if u.inSeq {
+			t.retiredInSeq++
+		}
+		if !t.frozenSeries && t.warmed {
+			t.series.Observe(u.inSeq)
+		}
+		if t.retireTarget > 0 {
+			if !t.warmed && t.retired == t.warmupTarget {
+				// Warmup done: open the measurement window.
+				t.warmed = true
+				t.warmStartCycle = now
+				t.warmInSeq = t.retiredInSeq
+				t.warmShelf = t.retiredShelf
+			}
+			if t.retired == t.warmupTarget+t.retireTarget {
+				// End of the measurement window: freeze the
+				// classification counters and the series tracker.
+				t.targetReached = true
+				t.finishCycle = now
+				t.frozenInSeq = t.retiredInSeq - t.warmInSeq
+				t.frozenShelf = t.retiredShelf - t.warmShelf
+				t.series.Finish()
+				t.frozenSeries = true
+			}
+		}
+		i++
+	}
+	if i > 0 {
+		t.inflight = t.inflight[i:]
+		t.releaseReplay(t.inflight0Seq())
+	}
+	if !t.done && t.streamDone && len(t.inflight) == 0 && len(t.fetchQ) == 0 {
+		if _, ok := t.peekInst(t.fetchSeq); !ok {
+			t.done = true
+			t.finishCycle = now
+		}
+	}
+}
+
+// inflight0Seq returns the sequence number of the oldest in-flight
+// instruction, or the next fetch point if the window is empty.
+func (t *thread) inflight0Seq() int64 {
+	if len(t.inflight) > 0 {
+		return t.inflight[0].seq
+	}
+	if len(t.fetchQ) > 0 && t.fetchQ[0].seq < t.fetchSeq {
+		return t.fetchQ[0].seq
+	}
+	return t.fetchSeq
+}

@@ -1,0 +1,167 @@
+package core
+
+import "shelfsim/internal/isa"
+
+// squash flushes every instruction of thread t with sequence number >=
+// fromSeq: front-end entries are dropped, window entries are removed with
+// rename state rolled back youngest-first, in-flight executions are marked
+// for writeback filtering, and fetch rewinds to fromSeq.
+func (c *Core) squash(t *thread, fromSeq int64, now int64) {
+	t.squashes++
+	c.stats.Squashes++
+
+	// Front end: drop fetched-but-undispatched ops (fetchQ is in order).
+	cut := len(t.fetchQ)
+	for i, u := range t.fetchQ {
+		if u.seq >= fromSeq {
+			cut = i
+			break
+		}
+	}
+	for _, u := range t.fetchQ[cut:] {
+		u.state = stateSquashed
+	}
+	t.fetchQ = t.fetchQ[:cut]
+	t.fetchQReady = t.fetchQReady[:cut]
+
+	// Window: walk inflight youngest-first.
+	minROBPos := int64(-1)
+	minShelfIdx := int64(-1)
+	firstKept := len(t.inflight)
+	for i := len(t.inflight) - 1; i >= 0; i-- {
+		u := t.inflight[i]
+		if u.seq < fromSeq {
+			break
+		}
+		firstKept = i
+		c.squashOne(t, u, &minROBPos, &minShelfIdx)
+	}
+	t.inflight = t.inflight[:firstKept]
+
+	// ROB rollback: squashed IQ entries form a suffix of positions.
+	if minROBPos >= 0 {
+		t.robAllocPos = minROBPos
+		if t.itHead > t.robAllocPos {
+			t.itHead = t.robAllocPos
+		}
+		if t.itHeadSnapshot > t.robAllocPos {
+			t.itHeadSnapshot = t.robAllocPos
+		}
+	}
+	// Shelf rollback: the tail returns to the eldest squashed index; if
+	// issued-in-flight shelf ops were squashed, the FIFO is now empty.
+	if minShelfIdx >= 0 {
+		t.shelfTail = minShelfIdx
+		if t.shelfHead > t.shelfTail {
+			t.shelfHead = t.shelfTail
+		}
+		t.shelfSSRCopied = false
+	}
+	// lastIQPos must not point at a rolled-back position.
+	if t.lastIQPos >= t.robAllocPos {
+		t.lastIQPos = t.robAllocPos - 1
+	}
+
+	// LQ/SQ rollback (suffixes in program order).
+	t.lq = truncateQueue(t.lq, fromSeq)
+	t.sq = truncateQueue(t.sq, fromSeq)
+
+	// Restore the run-tracking flag to the last surviving dispatch.
+	if len(t.inflight) == 0 {
+		t.lastDispatchToIQ = true
+	} else {
+		t.lastDispatchToIQ = !t.inflight[len(t.inflight)-1].toShelf
+	}
+
+	// Fetch rewind.
+	t.fetchSeq = fromSeq
+	if t.nextFetchCycle <= now {
+		t.nextFetchCycle = now + 1
+	}
+	if t.fetchBlockedOn != nil && t.fetchBlockedOn.seq >= fromSeq {
+		t.fetchBlockedOn = nil
+	}
+
+	c.steerer.OnSquash(c, t, fromSeq)
+}
+
+// squashOne removes one window entry, rolling back its rename mappings.
+func (c *Core) squashOne(t *thread, u *uop, minROBPos, minShelfIdx *int64) {
+	// Rename rollback (youngest-first restores the elder mapping).
+	if u.hasDest() {
+		t.ratPRI[u.archDest] = u.prevPRI
+		t.ratTag[u.archDest] = u.prevTag
+		if u.toShelf {
+			c.freeExtTag(u.destTag)
+		} else {
+			c.freePhysReg(u.destPRI)
+		}
+	}
+	if u.inst.Op == isa.OpStore {
+		c.ssets.SquashStore(c.taggedPC(u), u.gseq)
+	}
+
+	switch u.state {
+	case stateDispatched:
+		// Still in the scheduling window: remove from IQ or shelf FIFO.
+		if u.toShelf {
+			if *minShelfIdx < 0 || u.shelfIdx < *minShelfIdx {
+				*minShelfIdx = u.shelfIdx
+			}
+		} else {
+			c.removeFromIQ(u)
+			if *minROBPos < 0 || u.robPos < *minROBPos {
+				*minROBPos = u.robPos
+			}
+		}
+		u.state = stateSquashed
+	case stateIssued:
+		// In flight: filter at writeback. The shelf index may not be
+		// reallocated until the op drains (§III-B).
+		u.squashPending = true
+		if u.toShelf {
+			t.shelfIndexBusy[u.shelfIdx%int64(2*t.shelfCap)] = true
+			if *minShelfIdx < 0 || u.shelfIdx < *minShelfIdx {
+				*minShelfIdx = u.shelfIdx
+			}
+		} else if *minROBPos < 0 || u.robPos < *minROBPos {
+			*minROBPos = u.robPos
+		}
+	case stateCompleted:
+		// Completed but unretired IQ op: discard (its ROB slot rolls
+		// back). Retired/completed shelf ops cannot be squashed: they
+		// write back only once non-speculative.
+		u.state = stateSquashed
+		if !u.toShelf && (*minROBPos < 0 || u.robPos < *minROBPos) {
+			*minROBPos = u.robPos
+		}
+	case stateRetired, stateSquashed, stateFetched:
+		// Retired ops are not in inflight with seq >= fromSeq (a retired
+		// op is non-speculative, hence elder than any squash source);
+		// fetched ops are not in inflight at all.
+		panic("core: squash reached op in state " + u.state.String())
+	}
+}
+
+// removeFromIQ deletes u from the shared issue queue.
+func (c *Core) removeFromIQ(u *uop) {
+	for i, v := range c.iq {
+		if v == u {
+			c.iq = append(c.iq[:i], c.iq[i+1:]...)
+			return
+		}
+	}
+	panic("core: dispatched IQ op missing from issue queue")
+}
+
+// truncateQueue drops the suffix of q with seq >= fromSeq.
+func truncateQueue(q []*uop, fromSeq int64) []*uop {
+	cut := len(q)
+	for i, u := range q {
+		if u.seq >= fromSeq {
+			cut = i
+			break
+		}
+	}
+	return q[:cut]
+}

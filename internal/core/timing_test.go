@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/isa"
+)
+
+// Timing sanity tests: absolute latencies and bandwidth ceilings the
+// configuration promises.
+
+func TestIPCNeverExceedsWidth(t *testing.T) {
+	for _, cfg := range allConfigs(4) {
+		cfg := cfg
+		c, err := New(cfg, kernelStreams(t, []string{"ilpmax", "ilpmax", "ilpmax", "ilpmax"}, 2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, c, 1_000_000)
+		st := c.Stats()
+		if ipc := st.IPC(); ipc > float64(cfg.Width)+1e-9 {
+			t.Errorf("%s: IPC %.3f exceeds width %d", cfg.Name, ipc, cfg.Width)
+		}
+	}
+}
+
+func TestWidthBoundWorkloadApproachesWidth(t *testing.T) {
+	// Four copies of the widest kernel must keep the machine near its
+	// issue width on the doubled core.
+	c, err := New(config.Base128(4), kernelStreams(t, []string{"ilpmax", "ilpmax", "ilpmax", "ilpmax"}, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, c, 1_000_000)
+	st := c.Stats()
+	if ipc := st.IPC(); ipc < 3.5 {
+		t.Errorf("width-bound IPC = %.3f, want near 4", ipc)
+	}
+}
+
+func TestDependentChainThroughput(t *testing.T) {
+	// A pure 1-cycle dependent chain retires ~1 instruction per cycle:
+	// back-to-back wakeup works.
+	p := newProgram()
+	p.alu(1)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		p.alu(1, 1)
+	}
+	compactPCs(p)
+	c := singleCore(t, config.Base64(1), p.stream("chain"))
+	run(t, c, 100_000)
+	cpi := float64(c.Cycle()) / float64(n)
+	if cpi < 0.95 || cpi > 1.3 {
+		t.Errorf("serial ALU chain CPI = %.3f, want ~1", cpi)
+	}
+}
+
+func TestLoadToUseLatency(t *testing.T) {
+	// A warm dependent load chain runs at the L1 load-to-use latency
+	// (1 AGU + 2 L1D = 3 cycles per link): each load's address depends on
+	// the previous iteration's result.
+	p := newProgram()
+	const n = 800
+	for i := 0; i < n; i++ {
+		// load r1 <- [r1-dependent address]; alu r1 <- r1
+		p.add(isa.Inst{Op: isa.OpLoad, Dest: 1, Srcs: srcs(1), Addr: 0x100, Size: 8})
+		p.add(isa.Inst{Op: isa.OpIntAlu, Dest: 1, Srcs: srcs(1)})
+	}
+	compactPCs(p)
+	c := singleCore(t, config.Base64(1), p.stream("l2u"))
+	run(t, c, 200_000)
+	// Each iteration: load (3 cycles, serialized through r1) + alu (1).
+	perIter := float64(c.Cycle()) / float64(n)
+	if perIter < 3.5 || perIter > 5.0 {
+		t.Errorf("load-use iteration = %.2f cycles, want ~4", perIter)
+	}
+}
+
+// compactPCs folds a straight-line micro program onto a few instruction
+// cache lines so cold I-misses do not dominate the timing under test.
+func compactPCs(p *program) {
+	for i := range p.insts {
+		p.insts[i].PC = 0x1000 + uint64(i%16)*4
+	}
+}
+
+func TestDivideThroughputUnpipelined(t *testing.T) {
+	// Independent divides share one unpipelined unit: throughput is one
+	// divide per divide-latency.
+	p := newProgram()
+	const n = 300
+	for i := 0; i < n; i++ {
+		p.div(int16(1+i%4), 5)
+	}
+	compactPCs(p)
+	c := singleCore(t, config.Base64(1), p.stream("div"))
+	run(t, c, 200_000)
+	perDiv := float64(c.Cycle()) / float64(n)
+	lat := float64(isa.OpIntDiv.Latency())
+	if perDiv < lat*0.9 || perDiv > lat*1.3 {
+		t.Errorf("divide throughput = %.1f cycles each, want ~%g", perDiv, lat)
+	}
+}
+
+func TestMispredictPenaltyMagnitude(t *testing.T) {
+	// Every iteration ends with an unpredictable branch; the per-branch
+	// cost must be near the pipeline depth (resolve + redirect + refill).
+	p := newProgram()
+	const n = 400
+	for i := 0; i < n; i++ {
+		p.alu(1, 1)
+		// Unpredictable direction: hash of i decides.
+		taken := (i*2654435761)>>28&1 == 1
+		target := p.pc + 8
+		if !taken {
+			target = 0
+		}
+		p.add(isa.Inst{Op: isa.OpBranch, Dest: isa.RegInvalid, Srcs: srcs(1),
+			Taken: taken, Target: target})
+		if taken {
+			// The skipped slot: the next instruction is the target.
+			p.pc += 4
+		}
+		p.alu(2, 2)
+	}
+	compactPCs(p)
+	c := singleCore(t, config.Base64(1), p.stream("penalty"))
+	run(t, c, 400_000)
+	res := c.Result()
+	misp := res.Threads[0].Mispredicts
+	if misp < n/8 {
+		t.Fatalf("only %d mispredicts; pattern too predictable for the test", misp)
+	}
+	extra := float64(c.Cycle()) - float64(len(p.insts)) // beyond 1 IPC
+	perMisp := extra / float64(misp)
+	// Fetch-to-dispatch is 6; with resolve+redirect the penalty should be
+	// roughly 8-16 cycles.
+	if perMisp < 5 || perMisp > 25 {
+		t.Errorf("mispredict penalty = %.1f cycles, want ~8-16", perMisp)
+	}
+}
+
+func TestMemPortsBoundLoadIssue(t *testing.T) {
+	// All-independent loads are bounded by MemPorts per cycle.
+	p := newProgram()
+	const n = 1600
+	for i := 0; i < n; i++ {
+		p.load(int16(1+i%8), uint64(i%32)*8)
+	}
+	compactPCs(p)
+	c := singleCore(t, config.Base64(1), p.stream("ports"))
+	run(t, c, 200_000)
+	minCycles := float64(n) / float64(c.Config().MemPorts)
+	if float64(c.Cycle()) < minCycles {
+		t.Errorf("issued loads faster than the port limit: %d cycles < %g", c.Cycle(), minCycles)
+	}
+}

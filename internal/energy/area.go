@@ -1,0 +1,59 @@
+package energy
+
+import (
+	"shelfsim/internal/config"
+	"shelfsim/internal/isa"
+)
+
+// Area estimates core area in arbitrary units. Only ratios are reported
+// (Table II: area increase of 64+64 and 128 designs over the 64 baseline,
+// with and without L1 caches). Constants are calibrated so the baseline's
+// window structures are a realistic fraction of the core: scheduling and
+// register state make up roughly a quarter of a small OOO core's logic
+// area, and the L1 caches roughly a third of core+L1.
+type Area struct {
+	Window float64 // IQ, ROB, LSQ, PRF, shelf, rename/steering state
+	Logic  float64 // functional units, front end, bypass, control
+	L1     float64 // L1I + L1D arrays
+}
+
+// CoreArea computes the area decomposition for a configuration.
+func CoreArea(cfg *config.Config) Area {
+	const (
+		bitArea       = 1.0
+		logicBaseArea = 5.1e5 // FUs, fetch/decode, bypass network, control
+		schedPerEntry = 850.0 // select/wakeup logic per schedulable entry
+		l1BitArea     = 0.53  // SRAM cache cells are denser than CAM/RF bits
+	)
+	window := structBits(cfg) * bitArea
+	// Scheduling (select/wakeup) logic grows with the number of entries
+	// the dynamic scheduler considers: IQ entries plus one shelf head per
+	// thread.
+	sched := float64(cfg.IQ) * schedPerEntry
+	if cfg.Shelf > 0 {
+		sched += float64(cfg.Threads) * schedPerEntry
+	}
+	logic := logicBaseArea
+	l1Bits := float64(cfg.Mem.L1I.SizeBytes+cfg.Mem.L1D.SizeBytes) * 8
+	return Area{
+		Window: window + sched,
+		Logic:  logic,
+		L1:     l1Bits * l1BitArea,
+	}
+}
+
+// CoreOnly returns area excluding L1 caches.
+func (a Area) CoreOnly() float64 { return a.Window + a.Logic }
+
+// WithL1 returns area including L1 caches.
+func (a Area) WithL1() float64 { return a.Window + a.Logic + a.L1 }
+
+// AreaIncrease returns the fractional area increase of cfg over base,
+// excluding and including the L1 caches (Table II's two rows).
+func AreaIncrease(base, cfg *config.Config) (noL1, withL1 float64) {
+	ab, ac := CoreArea(base), CoreArea(cfg)
+	return ac.CoreOnly()/ab.CoreOnly() - 1, ac.WithL1()/ab.WithL1() - 1
+}
+
+// ensure isa is linked for NumArchRegs use in structBits.
+var _ = isa.NumArchRegs

@@ -1,0 +1,142 @@
+package energy
+
+import (
+	"testing"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/core"
+	"shelfsim/internal/isa"
+)
+
+func TestAreaOrdering(t *testing.T) {
+	base := config.Base64(4)
+	shelf := config.Shelf64(4, true)
+	b128 := config.Base128(4)
+
+	sn, sw := AreaIncrease(&base, &shelf)
+	bn, bw := AreaIncrease(&base, &b128)
+	if sn <= 0 || bn <= 0 {
+		t.Fatalf("area increases must be positive: shelf=%g b128=%g", sn, bn)
+	}
+	if sn >= bn {
+		t.Errorf("shelf area increase (%g) must be well below doubling (%g)", sn, bn)
+	}
+	// Table II: including L1 shrinks the relative increase.
+	if sw >= sn || bw >= bn {
+		t.Error("including L1 caches must dilute the increase")
+	}
+	// The paper's ballpark: shelf ~3%, doubling ~10% (without L1).
+	if sn < 0.01 || sn > 0.06 {
+		t.Errorf("shelf area increase %g out of the calibrated band", sn)
+	}
+	if bn < 0.06 || bn > 0.15 {
+		t.Errorf("base128 area increase %g out of the calibrated band", bn)
+	}
+}
+
+func TestCoreAreaComponents(t *testing.T) {
+	cfg := config.Base64(4)
+	a := CoreArea(&cfg)
+	if a.Window <= 0 || a.Logic <= 0 || a.L1 <= 0 {
+		t.Fatalf("area components must be positive: %+v", a)
+	}
+	if a.WithL1() != a.CoreOnly()+a.L1 {
+		t.Error("WithL1 must equal CoreOnly + L1")
+	}
+}
+
+func fakeResult(cfg *config.Config) core.Result {
+	var res core.Result
+	res.Cycles = 1000
+	res.Stats.Fetched = 4000
+	res.Stats.Renames = 4000
+	res.Stats.IQWrites = 3000
+	res.Stats.IQReads = 3000
+	res.Stats.TagBroadcasts = 2500
+	res.Stats.ROBWrites = 3000
+	res.Stats.ROBReads = 3000
+	res.Stats.ShelfWrites = 1000
+	res.Stats.ShelfReads = 1000
+	res.Stats.LSQWrites = 800
+	res.Stats.LSQSearches = 900
+	res.Stats.PRFReads = 6000
+	res.Stats.PRFWrites = 3500
+	res.Stats.RCTReads = 4000
+	res.Stats.RCTWrites = 3000
+	res.Stats.FUOps[isa.OpIntAlu] = 2000
+	res.Stats.FUOps[isa.OpLoad] = 800
+	res.L1D.Hits = 700
+	res.L1D.Misses = 100
+	res.L2.Hits = 60
+	res.L2.Misses = 40
+	return res
+}
+
+func TestEnergyBreakdownTotal(t *testing.T) {
+	cfg := config.Shelf64(4, true)
+	res := fakeResult(&cfg)
+	b := Energy(&cfg, &res)
+	sum := b.FrontEnd + b.Rename + b.IQ + b.Shelf + b.ROB + b.LSQ +
+		b.PRF + b.FU + b.Caches + b.Steering + b.Leakage
+	if b.Total() != sum {
+		t.Errorf("Total() = %g, want %g", b.Total(), sum)
+	}
+	if b.Total() <= 0 {
+		t.Error("non-trivial run must consume energy")
+	}
+	if b.Shelf <= 0 || b.Steering <= 0 {
+		t.Error("shelf config must attribute shelf/steering energy")
+	}
+}
+
+func TestNoShelfNoShelfEnergy(t *testing.T) {
+	cfg := config.Base64(4)
+	res := fakeResult(&cfg)
+	b := Energy(&cfg, &res)
+	if b.Shelf != 0 || b.Steering != 0 {
+		t.Error("shelf-less config must not consume shelf energy")
+	}
+}
+
+func TestEnergyMonotoneInAccesses(t *testing.T) {
+	cfg := config.Base64(4)
+	res := fakeResult(&cfg)
+	b1 := Energy(&cfg, &res)
+	res.Stats.IQReads *= 2
+	res.Stats.TagBroadcasts *= 2
+	b2 := Energy(&cfg, &res)
+	if b2.IQ <= b1.IQ {
+		t.Error("more IQ activity must cost more energy")
+	}
+}
+
+func TestLargerIQCostsMorePerBroadcast(t *testing.T) {
+	small := config.Base64(4)
+	big := config.Base128(4)
+	res := fakeResult(&small)
+	e1 := Energy(&small, &res)
+	e2 := Energy(&big, &res)
+	if e2.IQ <= e1.IQ {
+		t.Error("CAM broadcast energy must grow with IQ size")
+	}
+	if e2.Leakage <= e1.Leakage {
+		t.Error("leakage must grow with structure bits")
+	}
+}
+
+func TestCamRamScaling(t *testing.T) {
+	if camSearch(64, 10) <= camSearch(32, 10) {
+		t.Error("CAM search energy must scale with entries")
+	}
+	if ramAccess(64, 16) <= ramAccess(64, 8) {
+		t.Error("RAM access energy must scale with width")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	cfg := config.Base64(4)
+	res := fakeResult(&cfg)
+	if EDP(&cfg, &res) <= 0 {
+		t.Error("EDP must be positive for a non-trivial run")
+	}
+}

@@ -1,0 +1,309 @@
+package harness
+
+import (
+	"fmt"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/energy"
+	"shelfsim/internal/metrics"
+	"shelfsim/internal/workload"
+)
+
+// Fig1Row is one point of Figure 1: the mean fraction of in-sequence
+// instructions in a 128-entry-window OOO core at a given SMT thread count.
+type Fig1Row struct {
+	Threads     int
+	InSeqFrac   float64
+	ThreadFracs []float64 // per-thread samples behind the mean
+}
+
+// Fig1 reproduces Figure 1: in-sequence fraction vs thread count.
+func (h *Harness) Fig1(threadCounts []int) ([]Fig1Row, error) {
+	rows := make([]Fig1Row, 0, len(threadCounts))
+	for _, th := range threadCounts {
+		cfg := config.Base128(th)
+		row := Fig1Row{Threads: th}
+		for _, mix := range h.Mixes(th) {
+			res, err := h.Run(cfg, mix)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range res.Threads {
+				row.ThreadFracs = append(row.ThreadFracs, t.InSeqFraction)
+			}
+		}
+		row.InSeqFrac = metrics.Mean(row.ThreadFracs)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig2Result carries the weighted CDFs of consecutive in-sequence and
+// reordered series lengths for single-threaded execution (geometric-mean
+// behaviour approximated by pooling all benchmarks).
+type Fig2Result struct {
+	InSeq     []metrics.CDFPoint
+	Reordered []metrics.CDFPoint
+	// MeanInSeqLen / MeanReorderedLen are instruction-weighted means.
+	MeanInSeqLen     float64
+	MeanReorderedLen float64
+}
+
+// Fig2 reproduces Figure 2 on the 128-entry single-thread window.
+func (h *Harness) Fig2() (*Fig2Result, error) {
+	pooled := metrics.NewSeriesTracker()
+	for _, k := range workload.Kernels() {
+		cfg := config.Base128(1)
+		res, err := h.Run(cfg, workload.Mix{ID: 0, Kernels: []*workload.Kernel{k}})
+		if err != nil {
+			return nil, err
+		}
+		pooled.Merge(res.Threads[0].Series)
+	}
+	return &Fig2Result{
+		InSeq:            pooled.InSeqCDF(),
+		Reordered:        pooled.ReorderedCDF(),
+		MeanInSeqLen:     pooled.MeanSeriesLength(true),
+		MeanReorderedLen: pooled.MeanSeriesLength(false),
+	}, nil
+}
+
+// MixSTP is one mix's STP under the four evaluated configurations.
+type MixSTP struct {
+	Mix       workload.Mix
+	Base64    float64
+	ShelfCons float64
+	ShelfOpt  float64
+	Base128   float64
+}
+
+// Improvement returns stp/base64 - 1.
+func (m *MixSTP) Improvement(stp float64) float64 { return stp/m.Base64 - 1 }
+
+// Fig10 reproduces Figure 10: STP of the shelf designs and the doubled
+// core over the 4-thread baseline, for every mix.
+func (h *Harness) Fig10(threads int) ([]MixSTP, error) {
+	configs := []config.Config{
+		config.Base64(threads),
+		config.Shelf64(threads, false),
+		config.Shelf64(threads, true),
+		config.Base128(threads),
+	}
+	out := make([]MixSTP, 0, h.MixCount)
+	for _, mix := range h.Mixes(threads) {
+		row := MixSTP{Mix: mix}
+		vals := []*float64{&row.Base64, &row.ShelfCons, &row.ShelfOpt, &row.Base128}
+		for i, cfg := range configs {
+			res, err := h.Run(cfg, mix)
+			if err != nil {
+				return nil, err
+			}
+			stp, err := h.STP(mix, res)
+			if err != nil {
+				return nil, err
+			}
+			*vals[i] = stp
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Summary condenses per-mix improvements into the paper's reporting
+// format: lowest, median, highest mix and geometric mean.
+type Summary struct {
+	MinMix, MedianMix, MaxMix int // indices into the row slice
+	Min, Median, Max, GeoMean float64
+}
+
+// Summarize computes a Summary over improvement ratios (value/base - 1).
+func Summarize(improvements []float64) (Summary, error) {
+	ratios := make([]float64, len(improvements))
+	for i, v := range improvements {
+		ratios[i] = 1 + v
+	}
+	gm, err := metrics.GeoMean(ratios)
+	if err != nil {
+		return Summary{}, err
+	}
+	mn, md, mx := metrics.MinMedianMax(improvements)
+	return Summary{
+		MinMix: mn, MedianMix: md, MaxMix: mx,
+		Min: improvements[mn], Median: improvements[md], Max: improvements[mx],
+		GeoMean: gm - 1,
+	}, nil
+}
+
+// Fig11Row is one thread's in-sequence fraction within a mix (measured on
+// the baseline OOO core, as the window the shelf would exploit).
+type Fig11Row struct {
+	Mix       workload.Mix
+	Fractions []float64 // per thread
+	Workloads []string
+}
+
+// Fig11 reports per-thread in-sequence fractions for the selected mixes.
+func (h *Harness) Fig11(threads int, mixIdx []int) ([]Fig11Row, error) {
+	cfg := config.Base64(threads)
+	mixes := h.Mixes(threads)
+	out := make([]Fig11Row, 0, len(mixIdx))
+	for _, idx := range mixIdx {
+		mix := mixes[idx]
+		res, err := h.Run(cfg, mix)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig11Row{Mix: mix}
+		for i, t := range res.Threads {
+			row.Fractions = append(row.Fractions, t.InSeqFraction)
+			row.Workloads = append(row.Workloads, mix.Kernels[i].Name)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// MixSteering is one mix's STP under oracle and practical steering.
+type MixSteering struct {
+	Mix       workload.Mix
+	Base64    float64
+	Practical float64
+	Oracle    float64
+}
+
+// Fig12 reproduces Figure 12: oracle vs practical steering.
+func (h *Harness) Fig12(threads int, optimistic bool) ([]MixSteering, error) {
+	base := config.Base64(threads)
+	practical := config.Shelf64(threads, optimistic)
+	oracle := practical
+	oracle.Steer = config.SteerOracle
+	oracle.Name = practical.Name + "-oracle"
+
+	out := make([]MixSteering, 0, h.MixCount)
+	for _, mix := range h.Mixes(threads) {
+		row := MixSteering{Mix: mix}
+		for _, rc := range []struct {
+			cfg config.Config
+			dst *float64
+		}{{base, &row.Base64}, {practical, &row.Practical}, {oracle, &row.Oracle}} {
+			res, err := h.Run(rc.cfg, mix)
+			if err != nil {
+				return nil, err
+			}
+			stp, err := h.STP(mix, res)
+			if err != nil {
+				return nil, err
+			}
+			*rc.dst = stp
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// MixEDP is one mix's energy-delay product under the four configurations
+// (EDP = average power x (1/STP)^2; see EDPFrom).
+type MixEDP struct {
+	Mix       workload.Mix
+	Base64    float64
+	ShelfCons float64
+	ShelfOpt  float64
+	Base128   float64
+}
+
+// Fig13 reproduces Figure 13: EDP of each design (reusing Fig10's runs via
+// the cache).
+func (h *Harness) Fig13(threads int) ([]MixEDP, error) {
+	configs := []config.Config{
+		config.Base64(threads),
+		config.Shelf64(threads, false),
+		config.Shelf64(threads, true),
+		config.Base128(threads),
+	}
+	out := make([]MixEDP, 0, h.MixCount)
+	for _, mix := range h.Mixes(threads) {
+		row := MixEDP{Mix: mix}
+		vals := []*float64{&row.Base64, &row.ShelfCons, &row.ShelfOpt, &row.Base128}
+		for i, cfg := range configs {
+			res, err := h.Run(cfg, mix)
+			if err != nil {
+				return nil, err
+			}
+			stp, err := h.STP(mix, res)
+			if err != nil {
+				return nil, err
+			}
+			*vals[i] = EDPFrom(Power(&cfg, res), stp)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig14Row reports STP and EDP improvements of the shelf design for a
+// given thread count (Figure 14: one and two threads).
+type Fig14Row struct {
+	Threads        int
+	STPImprovement float64 // geomean of shelf/base64 - 1
+	EDPImprovement float64 // geomean of 1 - shelfEDP/base64EDP
+}
+
+// Fig14 evaluates the shelf with fewer threads.
+func (h *Harness) Fig14(threadCounts []int, optimistic bool) ([]Fig14Row, error) {
+	out := make([]Fig14Row, 0, len(threadCounts))
+	for _, th := range threadCounts {
+		base := config.Base64(th)
+		shelf := config.Shelf64(th, optimistic)
+		var stpRatios, edpRatios []float64
+		for _, mix := range h.Mixes(th) {
+			rb, err := h.Run(base, mix)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := h.Run(shelf, mix)
+			if err != nil {
+				return nil, err
+			}
+			sb, err := h.STP(mix, rb)
+			if err != nil {
+				return nil, err
+			}
+			ss, err := h.STP(mix, rs)
+			if err != nil {
+				return nil, err
+			}
+			stpRatios = append(stpRatios, ss/sb)
+			edpRatios = append(edpRatios,
+				EDPFrom(Power(&base, rb), sb)/EDPFrom(Power(&shelf, rs), ss))
+		}
+		gmSTP, err := metrics.GeoMean(stpRatios)
+		if err != nil {
+			return nil, err
+		}
+		gmEDP, err := metrics.GeoMean(edpRatios)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig14Row{
+			Threads:        th,
+			STPImprovement: gmSTP - 1,
+			EDPImprovement: gmEDP - 1,
+		})
+	}
+	return out, nil
+}
+
+// Table2 reports area increases over the baseline (Table II).
+func Table2(threads int) (shelfNoL1, shelfWithL1, b128NoL1, b128WithL1 float64) {
+	base := config.Base64(threads)
+	shelf := config.Shelf64(threads, true)
+	b128 := config.Base128(threads)
+	shelfNoL1, shelfWithL1 = energy.AreaIncrease(&base, &shelf)
+	b128NoL1, b128WithL1 = energy.AreaIncrease(&base, &b128)
+	return
+}
+
+// FormatMixName abbreviates a mix for axis labels.
+func FormatMixName(m workload.Mix) string {
+	return fmt.Sprintf("mix%02d", m.ID)
+}

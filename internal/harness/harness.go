@@ -1,0 +1,133 @@
+// Package harness runs the paper's experiments: it builds workloads,
+// drives simulations with the paper's warmup/measurement methodology,
+// memoizes runs shared between figures, and computes the reported metrics
+// (STP over single-threaded CPIs, EDP, in-sequence statistics).
+package harness
+
+import (
+	"fmt"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/core"
+	"shelfsim/internal/energy"
+	"shelfsim/internal/isa"
+	"shelfsim/internal/metrics"
+	"shelfsim/internal/workload"
+)
+
+// Harness caches simulation results across experiments.
+type Harness struct {
+	// Warmup and Insts are per-thread retired-instruction counts for the
+	// warmup and measurement windows.
+	Warmup int64
+	Insts  int64
+	// MixCount limits how many of the 28 balanced-random mixes are used
+	// (28 = full paper methodology; fewer for quick runs).
+	MixCount int
+
+	singleCPI map[string]float64
+	runCache  map[string]*core.Result
+}
+
+// New builds a harness with the given measurement window; warmup defaults
+// to half the window.
+func New(insts int64, mixCount int) *Harness {
+	if mixCount <= 0 || mixCount > 28 {
+		mixCount = 28
+	}
+	return &Harness{
+		Warmup:    insts / 2,
+		Insts:     insts,
+		MixCount:  mixCount,
+		singleCPI: make(map[string]float64),
+		runCache:  make(map[string]*core.Result),
+	}
+}
+
+// Mixes returns the first MixCount balanced-random mixes for a thread
+// count.
+func (h *Harness) Mixes(threads int) []workload.Mix {
+	return workload.PaperMixes(threads)[:h.MixCount]
+}
+
+// Run simulates cfg over mix (memoized on config name + mix identity).
+func (h *Harness) Run(cfg config.Config, mix workload.Mix) (*core.Result, error) {
+	key := fmt.Sprintf("%s/%d/%s/%d/%d", cfg.Name, cfg.Threads, mix.Name(), h.Warmup, h.Insts)
+	if r, ok := h.runCache[key]; ok {
+		return r, nil
+	}
+	streams := make([]isa.Stream, len(mix.Kernels))
+	for i, k := range mix.Kernels {
+		streams[i] = k.NewStream(uint64(i+1)<<32, uint64(i)+1, -1)
+	}
+	c, err := core.New(cfg, streams)
+	if err != nil {
+		return nil, err
+	}
+	c.SetRetireTargets(h.Warmup, h.Insts)
+	maxCycles := (h.Warmup + h.Insts) * int64(cfg.Threads) * 1000
+	if _, finished := c.Run(maxCycles); !finished {
+		return nil, fmt.Errorf("harness: %s on %s did not finish in %d cycles",
+			cfg.Name, mix.Name(), maxCycles)
+	}
+	res := c.Result()
+	h.runCache[key] = &res
+	return &res, nil
+}
+
+// SingleCPI returns the kernel's CPI running alone on the single-threaded
+// baseline core — the normalization point for STP, shared by every
+// configuration so STP ratios are directly comparable.
+func (h *Harness) SingleCPI(kernel *workload.Kernel) (float64, error) {
+	if cpi, ok := h.singleCPI[kernel.Name]; ok {
+		return cpi, nil
+	}
+	cfg := config.Base64(1)
+	mix := workload.Mix{ID: 0, Kernels: []*workload.Kernel{kernel}}
+	res, err := h.Run(cfg, mix)
+	if err != nil {
+		return 0, err
+	}
+	cpi := res.Threads[0].CPI
+	if cpi <= 0 {
+		return 0, fmt.Errorf("harness: non-positive single-thread CPI for %s", kernel.Name)
+	}
+	h.singleCPI[kernel.Name] = cpi
+	return cpi, nil
+}
+
+// STP computes system throughput for a finished run of mix.
+func (h *Harness) STP(mix workload.Mix, res *core.Result) (float64, error) {
+	single := make([]float64, len(mix.Kernels))
+	multi := make([]float64, len(mix.Kernels))
+	for i, k := range mix.Kernels {
+		cpi, err := h.SingleCPI(k)
+		if err != nil {
+			return 0, err
+		}
+		single[i] = cpi
+		multi[i] = res.Threads[i].CPI
+	}
+	return metrics.STP(single, multi)
+}
+
+// Power returns the run's steady-state average core power: total energy
+// over total cycles (robust to post-window overshoot, since both integrate
+// the same steady state).
+func Power(cfg *config.Config, res *core.Result) float64 {
+	if res.Cycles == 0 {
+		return 0
+	}
+	b := energy.Energy(cfg, res)
+	return b.Total() / float64(res.Cycles)
+}
+
+// EDPFrom combines average power with STP into an energy-delay product:
+// the mix's delay is the time to complete one normalized program, 1/STP,
+// so EDP = P x (1/STP)^2. Only ratios between configurations matter.
+func EDPFrom(power, stp float64) float64 {
+	if stp <= 0 {
+		return 0
+	}
+	return power / (stp * stp)
+}

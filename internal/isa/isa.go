@@ -1,0 +1,202 @@
+// Package isa defines the micro-op instruction set consumed by the timing
+// simulator. It is deliberately ISA-neutral: the paper's mechanisms depend
+// only on operand dependences, operation latencies, memory addresses and
+// control flow, not on any particular instruction encoding.
+package isa
+
+import "fmt"
+
+// OpClass identifies the functional behaviour of a micro-op. Latency and
+// functional-unit binding are derived from it.
+type OpClass uint8
+
+const (
+	// OpNop performs no work but still flows through the pipeline.
+	OpNop OpClass = iota
+	// OpIntAlu is a single-cycle integer operation.
+	OpIntAlu
+	// OpIntMult is a pipelined integer multiply.
+	OpIntMult
+	// OpIntDiv is an unpipelined integer divide.
+	OpIntDiv
+	// OpFPAdd is a pipelined floating-point add/sub/convert.
+	OpFPAdd
+	// OpFPMult is a pipelined floating-point multiply.
+	OpFPMult
+	// OpFPDiv is an unpipelined floating-point divide/sqrt.
+	OpFPDiv
+	// OpLoad reads memory.
+	OpLoad
+	// OpStore writes memory.
+	OpStore
+	// OpBranch is a conditional or unconditional control transfer.
+	OpBranch
+	// OpBarrier is a memory barrier; it synchronizes the pipeline at
+	// dispatch (paper §III-D).
+	OpBarrier
+
+	// NumOpClasses is the number of distinct op classes.
+	NumOpClasses
+)
+
+var opClassNames = [NumOpClasses]string{
+	"nop", "int_alu", "int_mult", "int_div",
+	"fp_add", "fp_mult", "fp_div",
+	"load", "store", "branch", "barrier",
+}
+
+// String returns the lower-case mnemonic for the op class.
+func (c OpClass) String() string {
+	if int(c) < len(opClassNames) {
+		return opClassNames[c]
+	}
+	return fmt.Sprintf("opclass(%d)", uint8(c))
+}
+
+// IsMem reports whether the op class accesses data memory.
+func (c OpClass) IsMem() bool { return c == OpLoad || c == OpStore }
+
+// IsFloat reports whether the op class executes on the FP cluster.
+func (c OpClass) IsFloat() bool { return c == OpFPAdd || c == OpFPMult || c == OpFPDiv }
+
+// Latency returns the execution latency, in cycles, of the op class,
+// excluding memory access time for loads (the cache model supplies that)
+// and excluding issue/writeback overheads.
+func (c OpClass) Latency() int {
+	switch c {
+	case OpNop:
+		return 1
+	case OpIntAlu:
+		return 1
+	case OpIntMult:
+		return 3
+	case OpIntDiv:
+		return 12
+	case OpFPAdd:
+		return 3
+	case OpFPMult:
+		return 4
+	case OpFPDiv:
+		return 16
+	case OpLoad:
+		return 1 // address generation; cache latency added by the memory model
+	case OpStore:
+		return 1 // address generation
+	case OpBranch:
+		return 1
+	case OpBarrier:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Pipelined reports whether a functional unit for this class can accept a
+// new operation every cycle.
+func (c OpClass) Pipelined() bool {
+	return c != OpIntDiv && c != OpFPDiv
+}
+
+// Register identifiers. Architectural registers are numbered 0..NumIntRegs-1
+// for the integer file and NumIntRegs..NumIntRegs+NumFPRegs-1 for the FP
+// file. RegInvalid marks an absent operand or destination.
+const (
+	// NumIntRegs is the number of integer architectural registers.
+	NumIntRegs = 32
+	// NumFPRegs is the number of floating-point architectural registers.
+	NumFPRegs = 32
+	// NumArchRegs is the total architectural register count per thread.
+	NumArchRegs = NumIntRegs + NumFPRegs
+	// RegInvalid marks an unused source or destination operand.
+	RegInvalid = -1
+	// RegZero is the hardwired zero register; writes to it are discarded
+	// and reads never create dependences.
+	RegZero = 0
+)
+
+// MaxSrcs is the maximum number of register source operands per micro-op.
+const MaxSrcs = 3
+
+// Inst is one dynamic micro-op in a thread's correct-path instruction
+// stream. The workload generators produce these; the core consumes them.
+// All fields describe *architectural* properties — the core adds renaming
+// and timing state separately.
+type Inst struct {
+	// PC is the (synthetic) program counter of the instruction.
+	PC uint64
+	// Op is the operation class.
+	Op OpClass
+	// Dest is the destination architectural register, or RegInvalid.
+	Dest int16
+	// Srcs lists source architectural registers; unused slots hold
+	// RegInvalid.
+	Srcs [MaxSrcs]int16
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+	// Size is the access size in bytes for loads and stores.
+	Size uint8
+	// Taken reports the actual outcome for branches.
+	Taken bool
+	// Target is the actual next PC for taken branches.
+	Target uint64
+}
+
+// HasDest reports whether the micro-op writes an architectural register
+// that creates a dependence (the zero register does not).
+func (in *Inst) HasDest() bool {
+	return in.Dest != RegInvalid && in.Dest != RegZero
+}
+
+// NumSrcs counts the valid source operands.
+func (in *Inst) NumSrcs() int {
+	n := 0
+	for _, s := range in.Srcs {
+		if s != RegInvalid && s != RegZero {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a compact human-readable form, e.g.
+// "0x40: int_alu r3 <- r1, r2".
+func (in *Inst) String() string {
+	s := fmt.Sprintf("0x%x: %s", in.PC, in.Op)
+	if in.HasDest() {
+		s += fmt.Sprintf(" r%d <-", in.Dest)
+	}
+	first := true
+	for _, src := range in.Srcs {
+		if src == RegInvalid || src == RegZero {
+			continue
+		}
+		if first {
+			s += fmt.Sprintf(" r%d", src)
+			first = false
+		} else {
+			s += fmt.Sprintf(", r%d", src)
+		}
+	}
+	if in.Op.IsMem() {
+		s += fmt.Sprintf(" [0x%x]", in.Addr)
+	}
+	if in.Op == OpBranch {
+		if in.Taken {
+			s += fmt.Sprintf(" taken->0x%x", in.Target)
+		} else {
+			s += " not-taken"
+		}
+	}
+	return s
+}
+
+// Stream supplies a thread's dynamic correct-path instruction stream.
+// Implementations must be deterministic: two streams constructed with the
+// same parameters must yield identical sequences.
+type Stream interface {
+	// Next writes the next dynamic instruction into *out and returns true,
+	// or returns false if the stream is exhausted.
+	Next(out *Inst) bool
+	// Name identifies the originating workload for reporting.
+	Name() string
+}

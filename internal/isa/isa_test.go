@@ -1,0 +1,135 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassStrings(t *testing.T) {
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "opclass(") {
+			t.Errorf("op class %d has no mnemonic", c)
+		}
+	}
+	if got := OpClass(200).String(); !strings.HasPrefix(got, "opclass(") {
+		t.Errorf("out-of-range op class string = %q", got)
+	}
+}
+
+func TestLatenciesPositive(t *testing.T) {
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		if c.Latency() <= 0 {
+			t.Errorf("%v latency %d not positive", c, c.Latency())
+		}
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	if !(OpIntAlu.Latency() < OpIntMult.Latency()) {
+		t.Error("mult should be slower than alu")
+	}
+	if !(OpIntMult.Latency() < OpIntDiv.Latency()) {
+		t.Error("div should be slower than mult")
+	}
+	if !(OpFPMult.Latency() < OpFPDiv.Latency()) {
+		t.Error("fpdiv should be slower than fpmult")
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		want := c == OpLoad || c == OpStore
+		if c.IsMem() != want {
+			t.Errorf("%v IsMem = %v, want %v", c, c.IsMem(), want)
+		}
+	}
+}
+
+func TestIsFloat(t *testing.T) {
+	floats := map[OpClass]bool{OpFPAdd: true, OpFPMult: true, OpFPDiv: true}
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		if c.IsFloat() != floats[c] {
+			t.Errorf("%v IsFloat = %v", c, c.IsFloat())
+		}
+	}
+}
+
+func TestPipelined(t *testing.T) {
+	if OpIntDiv.Pipelined() || OpFPDiv.Pipelined() {
+		t.Error("divides must be unpipelined")
+	}
+	if !OpIntAlu.Pipelined() || !OpIntMult.Pipelined() || !OpLoad.Pipelined() {
+		t.Error("alu/mult/load must be pipelined")
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	in := Inst{Op: OpIntAlu, Dest: 3}
+	if !in.HasDest() {
+		t.Error("dest r3 should count")
+	}
+	in.Dest = RegInvalid
+	if in.HasDest() {
+		t.Error("invalid dest should not count")
+	}
+	in.Dest = RegZero
+	if in.HasDest() {
+		t.Error("zero register dest should not create a dependence")
+	}
+}
+
+func TestNumSrcs(t *testing.T) {
+	in := Inst{Op: OpIntAlu, Srcs: [MaxSrcs]int16{1, RegInvalid, RegZero}}
+	if got := in.NumSrcs(); got != 1 {
+		t.Errorf("NumSrcs = %d, want 1", got)
+	}
+	in.Srcs = [MaxSrcs]int16{1, 2, 3}
+	if got := in.NumSrcs(); got != 3 {
+		t.Errorf("NumSrcs = %d, want 3", got)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	in := Inst{
+		PC: 0x40, Op: OpIntAlu, Dest: 3,
+		Srcs: [MaxSrcs]int16{1, 2, RegInvalid},
+	}
+	s := in.String()
+	for _, want := range []string{"0x40", "int_alu", "r3", "r1", "r2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	ld := Inst{PC: 0x44, Op: OpLoad, Dest: 4, Addr: 0x1000, Size: 8,
+		Srcs: [MaxSrcs]int16{RegInvalid, RegInvalid, RegInvalid}}
+	if s := ld.String(); !strings.Contains(s, "[0x1000]") {
+		t.Errorf("load String() = %q missing address", s)
+	}
+	br := Inst{PC: 0x48, Op: OpBranch, Dest: RegInvalid, Taken: true, Target: 0x20,
+		Srcs: [MaxSrcs]int16{RegInvalid, RegInvalid, RegInvalid}}
+	if s := br.String(); !strings.Contains(s, "taken->0x20") {
+		t.Errorf("branch String() = %q missing target", s)
+	}
+}
+
+func TestRegisterSpaceConstants(t *testing.T) {
+	if NumArchRegs != NumIntRegs+NumFPRegs {
+		t.Fatal("register space constants inconsistent")
+	}
+	if MaxSrcs < 2 {
+		t.Fatal("need at least two source operands")
+	}
+}
+
+func TestLatencyBoundedProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		c := OpClass(raw % uint8(NumOpClasses))
+		l := c.Latency()
+		return l >= 1 && l <= 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package mem implements the timing model for the memory hierarchy: set
+// associative L1 instruction/data caches, a unified L2, miss status holding
+// registers (MSHRs) with merge-on-in-flight-line, and a fixed-latency DRAM.
+//
+// The model is access-driven: the core asks "if this access starts at cycle
+// now, when is the data ready?", and the hierarchy mutates its state (fills,
+// LRU, MSHR allocation) as a side effect. Fills become visible to later
+// accesses only once their fill time has passed, so timing remains causal
+// even though state is updated eagerly.
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// Name labels the cache in statistics ("L1D", "L2", ...).
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// LatencyCycles is the access (hit) latency.
+	LatencyCycles int
+	// MSHRs is the number of outstanding misses supported; 0 means
+	// effectively unlimited.
+	MSHRs int
+}
+
+// Validate reports a configuration error, if any.
+func (c *CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("cache %s: non-positive size %d", c.Name, c.SizeBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache %s: non-positive ways %d", c.Name, c.Ways)
+	case c.LineBytes <= 0 || bits.OnesCount(uint(c.LineBytes)) != 1:
+		return fmt.Errorf("cache %s: line size %d must be a positive power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line (%d*%d)", c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	case c.LatencyCycles <= 0:
+		return fmt.Errorf("cache %s: non-positive latency %d", c.Name, c.LatencyCycles)
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if bits.OnesCount(uint(sets)) != 1 {
+		return fmt.Errorf("cache %s: set count %d must be a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// CacheStats accumulates per-cache counters.
+type CacheStats struct {
+	Hits        uint64
+	Misses      uint64
+	MSHRMerges  uint64 // misses merged into an in-flight line fill
+	MSHRStalls  uint64 // cycles of delay charged waiting for a free MSHR
+	Evictions   uint64
+	Writebacks  uint64 // dirty evictions
+	Fills       uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Prefetches  uint64 // next-line prefetches issued (when enabled)
+}
+
+// MissRate returns misses/(hits+misses), or 0 for an idle cache.
+func (s *CacheStats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set sequence stamp; larger means more recently used.
+	lru uint64
+}
+
+type mshrEntry struct {
+	line    uint64 // line address (addr >> log2(lineBytes))
+	readyAt int64  // cycle at which the fill completes
+	dirty   bool   // a write merged into this fill; install dirty
+}
+
+// Cache is one level of set-associative cache with LRU replacement and a
+// bounded MSHR file.
+type Cache struct {
+	cfg      CacheConfig
+	sets     int
+	setShift uint // log2(lineBytes)
+	setMask  uint64
+	lines    []cacheLine // sets*ways, set-major
+	lruClock uint64
+	mshrs    []mshrEntry
+	// Stats is exported for harness reporting.
+	Stats CacheStats
+}
+
+// NewCache constructs a cache from cfg; it panics on invalid configuration
+// (configuration is programmer input, not runtime data).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:  uint64(sets - 1),
+		lines:    make([]cacheLine, sets*cfg.Ways),
+	}
+	if cfg.MSHRs > 0 {
+		c.mshrs = make([]mshrEntry, 0, cfg.MSHRs)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// lineAddr maps a byte address to its line address.
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.setShift }
+
+func (c *Cache) setOf(line uint64) int { return int(line & c.setMask) }
+
+// drainMSHRs retires completed fills (readyAt <= now) into the array.
+func (c *Cache) drainMSHRs(now int64) {
+	kept := c.mshrs[:0]
+	for _, m := range c.mshrs {
+		if m.readyAt <= now {
+			c.install(m.line, m.dirty)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	c.mshrs = kept
+}
+
+// lookup probes the array for line and updates LRU on hit.
+func (c *Cache) lookup(line uint64) bool {
+	set := c.setOf(line)
+	base := set * c.cfg.Ways
+	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			c.lruClock++
+			l.lru = c.lruClock
+			return true
+		}
+	}
+	return false
+}
+
+// markDirty sets the dirty bit on a resident line; it is a no-op if the
+// line is absent.
+func (c *Cache) markDirty(line uint64) {
+	set := c.setOf(line)
+	base := set * c.cfg.Ways
+	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			l.dirty = true
+			return
+		}
+	}
+}
+
+// install fills line into the array, evicting the LRU way if needed.
+func (c *Cache) install(line uint64, dirty bool) {
+	set := c.setOf(line)
+	base := set * c.cfg.Ways
+	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			// Already present (e.g. a second fill raced); refresh.
+			c.lruClock++
+			l.lru = c.lruClock
+			l.dirty = l.dirty || dirty
+			return
+		}
+		if !l.valid {
+			victim = w
+			break
+		}
+		if l.lru < oldest {
+			oldest = l.lru
+			victim = w
+		}
+	}
+	l := &c.lines[base+victim]
+	if l.valid {
+		c.Stats.Evictions++
+		if l.dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	c.lruClock++
+	*l = cacheLine{tag: tag, valid: true, dirty: dirty, lru: c.lruClock}
+	c.Stats.Fills++
+}
+
+// inflight returns the MSHR fill-completion time for line, or (0, false).
+func (c *Cache) inflight(line uint64) (int64, bool) {
+	for _, m := range c.mshrs {
+		if m.line == line {
+			return m.readyAt, true
+		}
+	}
+	return 0, false
+}
+
+// mshrAvailableAt returns the earliest cycle at or after now at which an
+// MSHR can be allocated, honoring the configured MSHR count.
+func (c *Cache) mshrAvailableAt(now int64) int64 {
+	if c.cfg.MSHRs <= 0 || len(c.mshrs) < c.cfg.MSHRs {
+		return now
+	}
+	earliest := c.mshrs[0].readyAt
+	for _, m := range c.mshrs[1:] {
+		if m.readyAt < earliest {
+			earliest = m.readyAt
+		}
+	}
+	return earliest
+}
+
+// allocMSHR records an in-flight fill completing at readyAt.
+func (c *Cache) allocMSHR(line uint64, readyAt int64) {
+	c.mshrs = append(c.mshrs, mshrEntry{line: line, readyAt: readyAt})
+}
+
+// Contains reports (without LRU side effects) whether line-containing addr
+// is resident or in flight at cycle now. Used by the oracle steering policy
+// to query the future schedule "functionally" as the paper does.
+func (c *Cache) Contains(addr uint64, now int64) bool {
+	line := c.lineAddr(addr)
+	set := c.setOf(line)
+	base := set * c.cfg.Ways
+	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	if ready, ok := c.inflight(line); ok && ready <= now {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,286 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCacheConfig() CacheConfig {
+	return CacheConfig{Name: "T", SizeBytes: 1 << 12, Ways: 2, LineBytes: 64, LatencyCycles: 2, MSHRs: 2}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := testCacheConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []func(*CacheConfig){
+		func(c *CacheConfig) { c.SizeBytes = 0 },
+		func(c *CacheConfig) { c.Ways = 0 },
+		func(c *CacheConfig) { c.LineBytes = 48 },
+		func(c *CacheConfig) { c.LineBytes = 0 },
+		func(c *CacheConfig) { c.SizeBytes = 1<<12 + 64 },
+		func(c *CacheConfig) { c.LatencyCycles = 0 },
+		func(c *CacheConfig) { c.SizeBytes = 3 * 64 * 2 }, // 3 sets: not a power of two
+	}
+	for i, mutate := range cases {
+		c := testCacheConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestNewCachePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCache should panic on invalid config")
+		}
+	}()
+	NewCache(CacheConfig{Name: "bad"})
+}
+
+func TestLookupAfterInstall(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	line := c.lineAddr(0x1000)
+	if c.lookup(line) {
+		t.Fatal("cold cache should miss")
+	}
+	c.install(line, false)
+	if !c.lookup(line) {
+		t.Fatal("installed line should hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewCache(testCacheConfig()) // 32 sets, 2 ways
+	// Three lines mapping to the same set (stride = sets*lineBytes).
+	stride := uint64(c.sets * c.cfg.LineBytes)
+	a, b, d := c.lineAddr(0), c.lineAddr(stride), c.lineAddr(2*stride)
+	c.install(a, false)
+	c.install(b, false)
+	c.lookup(a) // make a most recently used
+	c.install(d, false)
+	if c.lookup(b) {
+		t.Error("b should have been the LRU victim")
+	}
+	if !c.lookup(a) || !c.lookup(d) {
+		t.Error("a and d should be resident")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Stats.Evictions)
+	}
+}
+
+func TestDirtyEvictionCountsWriteback(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	stride := uint64(c.sets * c.cfg.LineBytes)
+	c.install(c.lineAddr(0), true)
+	c.install(c.lineAddr(stride), false)
+	c.install(c.lineAddr(2*stride), false) // evicts the dirty line
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func defaultHier() *Hierarchy { return NewHierarchy(DefaultHierarchyConfig()) }
+
+func TestLoadMissThenHit(t *testing.T) {
+	h := defaultHier()
+	cfg := h.Config()
+	ready, lvl := h.Load(0x4000, 100)
+	if lvl != LevelMem {
+		t.Fatalf("cold load level = %v, want mem", lvl)
+	}
+	wantMiss := int64(100 + cfg.L1D.LatencyCycles + cfg.L2.LatencyCycles + cfg.MemLatencyCycles)
+	if ready != wantMiss {
+		t.Fatalf("cold load ready = %d, want %d", ready, wantMiss)
+	}
+	// After the fill time, the same line hits in L1.
+	ready2, lvl2 := h.Load(0x4000, ready+1)
+	if lvl2 != LevelL1 {
+		t.Fatalf("second load level = %v, want L1", lvl2)
+	}
+	if ready2 != ready+1+int64(cfg.L1D.LatencyCycles) {
+		t.Fatalf("L1 hit latency wrong: %d", ready2-ready-1)
+	}
+}
+
+func TestFillNotVisibleBeforeReady(t *testing.T) {
+	h := defaultHier()
+	ready, _ := h.Load(0x8000, 10)
+	// A later access before the fill completes merges with the MSHR.
+	r2, _ := h.Load(0x8000, 20)
+	if r2 != ready {
+		t.Fatalf("merged access ready = %d, want %d", r2, ready)
+	}
+	if h.L1D().Stats.MSHRMerges != 1 {
+		t.Errorf("merges = %d, want 1", h.L1D().Stats.MSHRMerges)
+	}
+}
+
+func TestL2Hit(t *testing.T) {
+	h := defaultHier()
+	cfg := h.Config()
+	ready, _ := h.Load(0x100000, 0)
+	now := ready + 1
+	// Evict from tiny L1 by filling its set with conflicting lines, then
+	// the line should still hit in L2.
+	l1 := h.L1D()
+	stride := uint64(l1.sets * l1.cfg.LineBytes)
+	for i := 1; i <= 4; i++ {
+		r, _ := h.Load(0x100000+uint64(i)*stride, now)
+		now = r + 1
+	}
+	ready2, lvl := h.Load(0x100000, now)
+	if lvl != LevelL2 {
+		t.Fatalf("level = %v, want L2", lvl)
+	}
+	want := now + int64(cfg.L1D.LatencyCycles+cfg.L2.LatencyCycles)
+	if ready2 != want {
+		t.Fatalf("L2 hit ready = %d, want %d", ready2, want)
+	}
+}
+
+func TestMSHRStallWhenFull(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.L1D.MSHRs = 1
+	h := NewHierarchy(cfg)
+	r1, _ := h.Load(0x1000, 0)
+	r2, _ := h.Load(0x200000, 0) // different line, MSHR occupied
+	if r2 <= r1 {
+		t.Fatalf("second miss should wait for the MSHR: r1=%d r2=%d", r1, r2)
+	}
+	if h.L1D().Stats.MSHRStalls == 0 {
+		t.Error("expected MSHR stall cycles")
+	}
+}
+
+func TestStoreCommitDirties(t *testing.T) {
+	h := defaultHier()
+	ready, _ := h.StoreCommit(0x2000, 0)
+	_ = ready
+	if h.L1D().Stats.WriteMisses != 1 {
+		t.Errorf("write misses = %d, want 1", h.L1D().Stats.WriteMisses)
+	}
+	// Hit path after fill.
+	r2, _ := h.StoreCommit(0x2000, ready+1)
+	if h.L1D().Stats.WriteHits != 1 {
+		t.Errorf("write hits = %d, want 1", h.L1D().Stats.WriteHits)
+	}
+	_ = r2
+}
+
+func TestFetchUsesL1I(t *testing.T) {
+	h := defaultHier()
+	ready, _ := h.Fetch(0x40, 0)
+	if h.L1I().Stats.Misses != 1 {
+		t.Error("first fetch should miss L1I")
+	}
+	r2, lvl := h.Fetch(0x40, ready+1)
+	if lvl != LevelL1 || r2 != ready+1+int64(h.Config().L1I.LatencyCycles) {
+		t.Errorf("warm fetch should be an L1I hit: lvl=%v ready=%d", lvl, r2)
+	}
+}
+
+func TestContainsHasNoSideEffects(t *testing.T) {
+	h := defaultHier()
+	if h.LoadWouldHitL1(0x5000, 0) {
+		t.Fatal("cold cache cannot contain the line")
+	}
+	if h.L1D().Stats.Hits+h.L1D().Stats.Misses != 0 {
+		t.Fatal("Contains must not count as an access")
+	}
+	ready, _ := h.Load(0x5000, 0)
+	if !h.LoadWouldHitL1(0x5000, ready+1) {
+		t.Fatal("line should be present after fill")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s CacheStats
+	if s.MissRate() != 0 {
+		t.Error("idle cache miss rate should be 0")
+	}
+	s.Hits, s.Misses = 3, 1
+	if got := s.MissRate(); got != 0.25 {
+		t.Errorf("miss rate = %g, want 0.25", got)
+	}
+}
+
+func TestHierarchyPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive DRAM latency")
+		}
+	}()
+	cfg := DefaultHierarchyConfig()
+	cfg.MemLatencyCycles = 0
+	NewHierarchy(cfg)
+}
+
+// TestAccessCausalityProperty: data is never ready before the request, and
+// stats stay consistent, for arbitrary access sequences.
+func TestAccessCausalityProperty(t *testing.T) {
+	h := defaultHier()
+	now := int64(0)
+	f := func(addr uint64, advance uint8, isWrite bool) bool {
+		now += int64(advance)
+		var ready int64
+		if isWrite {
+			ready, _ = h.StoreCommit(addr, now)
+		} else {
+			ready, _ = h.Load(addr, now)
+		}
+		minLat := int64(h.Config().L1D.LatencyCycles)
+		return ready >= now+minLat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	l1 := h.L1D().Stats
+	if l1.Hits+l1.Misses == 0 {
+		t.Error("property test exercised no accesses")
+	}
+}
+
+// TestRepeatedAccessEventuallyHits: any fixed address becomes an L1 hit.
+func TestRepeatedAccessEventuallyHits(t *testing.T) {
+	h := defaultHier()
+	now := int64(0)
+	lvl := Level(99)
+	for i := 0; i < 4; i++ {
+		var ready int64
+		ready, lvl = h.Load(0xabc000, now)
+		now = ready + 1
+	}
+	if lvl != LevelL1 {
+		t.Errorf("steady-state level = %v, want L1", lvl)
+	}
+}
+
+func TestNextLinePrefetcher(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.PrefetchNextLines = 1
+	h := NewHierarchy(cfg)
+	ready, _ := h.Load(0x10000, 0) // miss: prefetches 0x10040
+	if h.L1D().Stats.Prefetches == 0 {
+		t.Fatal("prefetcher issued nothing on a demand miss")
+	}
+	// After the fill window, the next line must hit without ever having
+	// been demanded.
+	r2, lvl := h.Load(0x10040, ready+300)
+	if lvl != LevelL1 {
+		t.Errorf("prefetched line level = %v, want L1", lvl)
+	}
+	_ = r2
+}
+
+func TestPrefetcherOffByDefault(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.Load(0x20000, 0)
+	if h.L1D().Stats.Prefetches != 0 {
+		t.Error("default configuration must not prefetch")
+	}
+}

@@ -1,0 +1,223 @@
+package mem
+
+import "fmt"
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level uint8
+
+const (
+	// LevelL1 means the access hit in the first-level cache.
+	LevelL1 Level = iota
+	// LevelL2 means the access was satisfied by the unified L2.
+	LevelL2
+	// LevelMem means the access went to DRAM.
+	LevelMem
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMem:
+		return "mem"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// HierarchyConfig describes the full memory system.
+type HierarchyConfig struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+	// MemLatencyCycles is the DRAM access latency in core cycles
+	// (100 ns at 2 GHz = 200 cycles in the paper's Table I).
+	MemLatencyCycles int
+	// PrefetchNextLines, when positive, enables a tagged next-line
+	// prefetcher on the data cache: each demand miss also fetches the
+	// following N lines. Off by default (the paper's baseline has no
+	// prefetcher).
+	PrefetchNextLines int
+}
+
+// DefaultHierarchyConfig returns the paper's Table I memory system at a
+// 2 GHz core clock.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:              CacheConfig{Name: "L1I", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64, LatencyCycles: 1, MSHRs: 8},
+		L1D:              CacheConfig{Name: "L1D", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64, LatencyCycles: 2, MSHRs: 16},
+		L2:               CacheConfig{Name: "L2", SizeBytes: 2 << 20, Ways: 8, LineBytes: 64, LatencyCycles: 32, MSHRs: 32},
+		MemLatencyCycles: 200,
+	}
+}
+
+// Hierarchy owns the caches and DRAM latency model and provides the access
+// operations used by the core: instruction fetch, data load, and store
+// commit. All operations are deterministic functions of (state, addr, now).
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1i *Cache
+	l1d *Cache
+	l2  *Cache
+}
+
+// NewHierarchy builds the memory system; it panics on invalid configuration.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if cfg.MemLatencyCycles <= 0 {
+		panic(fmt.Errorf("mem: non-positive DRAM latency %d", cfg.MemLatencyCycles))
+	}
+	if cfg.L1I.LineBytes != cfg.L2.LineBytes || cfg.L1D.LineBytes != cfg.L2.LineBytes {
+		panic(fmt.Errorf("mem: all levels must share one line size"))
+	}
+	return &Hierarchy{
+		cfg: cfg,
+		l1i: NewCache(cfg.L1I),
+		l1d: NewCache(cfg.L1D),
+		l2:  NewCache(cfg.L2),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// L1I exposes the instruction cache for statistics and oracle probing.
+func (h *Hierarchy) L1I() *Cache { return h.l1i }
+
+// L1D exposes the data cache for statistics and oracle probing.
+func (h *Hierarchy) L1D() *Cache { return h.l1d }
+
+// L2 exposes the unified second-level cache for statistics.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// access runs the generic two-level access path: probe l1, on miss probe
+// L2, on L2 miss go to DRAM; allocate/merge MSHRs along the way. It returns
+// the cycle at which the data is available to the requester and the level
+// that supplied it.
+func (h *Hierarchy) access(l1 *Cache, addr uint64, now int64, isWrite bool) (readyAt int64, lvl Level) {
+	line := l1.lineAddr(addr)
+	l1.drainMSHRs(now)
+	h.l2.drainMSHRs(now)
+
+	if l1.lookup(line) {
+		l1.Stats.Hits++
+		if isWrite {
+			l1.Stats.WriteHits++
+			l1.markDirty(line)
+		}
+		return now + int64(l1.cfg.LatencyCycles), LevelL1
+	}
+	l1.Stats.Misses++
+	if isWrite {
+		l1.Stats.WriteMisses++
+	}
+
+	// Merge into an in-flight L1 fill if one exists for this line.
+	if ready, ok := l1.inflight(line); ok {
+		l1.Stats.MSHRMerges++
+		if isWrite {
+			// The fill will install clean; re-dirty on arrival by
+			// installing dirty now (the line is not yet visible).
+			l1.markDirtyOnFill(line)
+		}
+		min := now + int64(l1.cfg.LatencyCycles)
+		if ready < min {
+			ready = min
+		}
+		return ready, LevelL2 // satisfied by an outstanding fill
+	}
+
+	start := l1.mshrAvailableAt(now)
+	if start > now {
+		l1.Stats.MSHRStalls += uint64(start - now)
+	}
+	probeL2 := start + int64(l1.cfg.LatencyCycles)
+
+	var fill int64
+	if h.l2.lookup(line) {
+		h.l2.Stats.Hits++
+		fill = probeL2 + int64(h.l2.cfg.LatencyCycles)
+		lvl = LevelL2
+	} else if ready, ok := h.l2.inflight(line); ok {
+		h.l2.Stats.Misses++
+		h.l2.Stats.MSHRMerges++
+		fill = ready + int64(h.l2.cfg.LatencyCycles)
+		if min := probeL2 + int64(h.l2.cfg.LatencyCycles); fill < min {
+			fill = min
+		}
+		lvl = LevelMem
+	} else {
+		h.l2.Stats.Misses++
+		l2start := h.l2.mshrAvailableAt(probeL2)
+		if l2start > probeL2 {
+			h.l2.Stats.MSHRStalls += uint64(l2start - probeL2)
+		}
+		memDone := l2start + int64(h.l2.cfg.LatencyCycles) + int64(h.cfg.MemLatencyCycles)
+		h.l2.allocMSHR(line, memDone)
+		fill = memDone
+		lvl = LevelMem
+	}
+	l1.allocMSHR(line, fill)
+	if isWrite {
+		l1.markDirtyOnFill(line)
+	}
+	return fill, lvl
+}
+
+// Fetch models an instruction-cache access for the line containing addr,
+// returning the cycle the fetch group is available.
+func (h *Hierarchy) Fetch(addr uint64, now int64) (readyAt int64, lvl Level) {
+	return h.access(h.l1i, addr, now, false)
+}
+
+// Load models a data load beginning its cache access at cycle now.
+func (h *Hierarchy) Load(addr uint64, now int64) (readyAt int64, lvl Level) {
+	readyAt, lvl = h.access(h.l1d, addr, now, false)
+	if lvl != LevelL1 && h.cfg.PrefetchNextLines > 0 {
+		h.prefetch(addr, now)
+	}
+	return readyAt, lvl
+}
+
+// prefetch issues next-line prefetches after a demand miss; prefetches
+// ride the normal miss path (MSHRs, fills) but nobody waits on them.
+func (h *Hierarchy) prefetch(addr uint64, now int64) {
+	lineBytes := uint64(h.cfg.L1D.LineBytes)
+	for i := 1; i <= h.cfg.PrefetchNextLines; i++ {
+		next := addr + uint64(i)*lineBytes
+		if h.l1d.Contains(next, now) {
+			continue
+		}
+		h.l1d.Stats.Prefetches++
+		h.access(h.l1d, next, now, false)
+	}
+}
+
+// StoreCommit models a retiring store draining from the store buffer into
+// the data cache. The returned time is when the line is written; retirement
+// does not wait for it (relaxed model, coalescing store buffer).
+func (h *Hierarchy) StoreCommit(addr uint64, now int64) (readyAt int64, lvl Level) {
+	return h.access(h.l1d, addr, now, true)
+}
+
+// LoadWouldHitL1 reports whether a load of addr at cycle now would be an L1
+// hit, without perturbing cache state. The oracle steering policy uses this
+// "functional query" exactly as the paper's oracle queries gem5's cache.
+func (h *Hierarchy) LoadWouldHitL1(addr uint64, now int64) bool {
+	return h.l1d.Contains(addr, now)
+}
+
+// markDirtyOnFill records that the in-flight fill for line must install
+// dirty. Implemented on Cache to keep line bookkeeping in one place.
+func (c *Cache) markDirtyOnFill(line uint64) {
+	for i := range c.mshrs {
+		if c.mshrs[i].line == line {
+			c.mshrs[i].dirty = true
+			return
+		}
+	}
+	// The line may have just been installed by drainMSHRs; mark directly.
+	c.markDirty(line)
+}

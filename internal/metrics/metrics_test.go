@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesTrackerBasic(t *testing.T) {
+	s := NewSeriesTracker()
+	// Pattern: 3 in-seq, 2 reordered, 1 in-seq.
+	for _, b := range []bool{true, true, true, false, false, true} {
+		s.Observe(b)
+	}
+	s.Finish()
+	inSeq, reordered := s.Counts()
+	if inSeq != 4 || reordered != 2 {
+		t.Fatalf("counts = %d,%d want 4,2", inSeq, reordered)
+	}
+	if got := s.MeanSeriesLength(false); got != 2 {
+		t.Errorf("reordered mean length = %g, want 2", got)
+	}
+	// In-seq weighted mean: (3*3 + 1*1) / 4 = 2.5
+	if got := s.MeanSeriesLength(true); got != 2.5 {
+		t.Errorf("in-seq weighted mean = %g, want 2.5", got)
+	}
+}
+
+func TestSeriesCDF(t *testing.T) {
+	s := NewSeriesTracker()
+	for _, b := range []bool{true, false, true, true, false, false, false} {
+		s.Observe(b)
+	}
+	s.Finish()
+	cdf := s.InSeqCDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	last := cdf[len(cdf)-1]
+	if math.Abs(last.CumFrac-1.0) > 1e-12 {
+		t.Errorf("CDF must reach 1.0, got %g", last.CumFrac)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].CumFrac < cdf[i-1].CumFrac || cdf[i].Length <= cdf[i-1].Length {
+			t.Error("CDF not monotone")
+		}
+	}
+}
+
+func TestSeriesFinishIdempotent(t *testing.T) {
+	s := NewSeriesTracker()
+	s.Observe(true)
+	s.Finish()
+	s.Finish()
+	inSeq, _ := s.Counts()
+	if inSeq != 1 {
+		t.Errorf("double Finish corrupted counts: %d", inSeq)
+	}
+}
+
+func TestSeriesMerge(t *testing.T) {
+	a, b := NewSeriesTracker(), NewSeriesTracker()
+	a.Observe(true)
+	a.Finish()
+	b.Observe(true)
+	b.Observe(false)
+	b.Finish()
+	a.Merge(b)
+	inSeq, reordered := a.Counts()
+	if inSeq != 2 || reordered != 1 {
+		t.Errorf("merged counts = %d,%d want 2,1", inSeq, reordered)
+	}
+}
+
+func TestEmptyTracker(t *testing.T) {
+	s := NewSeriesTracker()
+	s.Finish()
+	if cdf := s.InSeqCDF(); cdf != nil {
+		t.Error("empty tracker should yield nil CDF")
+	}
+	if s.MeanSeriesLength(true) != 0 {
+		t.Error("empty tracker mean should be 0")
+	}
+}
+
+func TestSTP(t *testing.T) {
+	got, err := STP([]float64{2, 4}, []float64{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.5 {
+		t.Errorf("STP = %g, want 1.5", got)
+	}
+	if _, err := STP([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := STP([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero CPI accepted")
+	}
+}
+
+func TestANTT(t *testing.T) {
+	got, err := ANTT([]float64{2, 2}, []float64{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.5 {
+		t.Errorf("ANTT = %g, want 1.5", got)
+	}
+	if _, err := ANTT(nil, nil); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 2", got)
+	}
+	if v, err := GeoMean(nil); err != nil || v != 0 {
+		t.Error("empty input should be (0, nil)")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative input accepted")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+}
+
+func TestMinMedianMax(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	mn, md, mx := MinMedianMax(xs)
+	if xs[mn] != 1 || xs[md] != 3 || xs[mx] != 5 {
+		t.Errorf("MinMedianMax picked %g,%g,%g", xs[mn], xs[md], xs[mx])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty input should panic")
+		}
+	}()
+	MinMedianMax(nil)
+}
+
+// Property: STP of a mix where multi == single is exactly the thread count.
+func TestSTPIdentityProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		cpis := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			v = math.Abs(v)
+			if v > 0.01 && v < 1000 {
+				cpis = append(cpis, v)
+			}
+		}
+		if len(cpis) == 0 {
+			return true
+		}
+		got, err := STP(cpis, cpis)
+		return err == nil && math.Abs(got-float64(len(cpis))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the weighted CDF mass at each length equals length*count/total.
+func TestCDFMassProperty(t *testing.T) {
+	f := func(pattern []bool) bool {
+		s := NewSeriesTracker()
+		for _, b := range pattern {
+			s.Observe(b)
+		}
+		s.Finish()
+		inSeq, reordered := s.Counts()
+		var wantIn, wantRe int64
+		for _, b := range pattern {
+			if b {
+				wantIn++
+			} else {
+				wantRe++
+			}
+		}
+		return inSeq == wantIn && reordered == wantRe
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

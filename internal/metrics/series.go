@@ -1,0 +1,137 @@
+// Package metrics provides the measurement machinery of the evaluation:
+// the in-sequence/reordered series-length tracker (Fig. 2), system
+// throughput (STP, Eyerman & Eeckhout), and aggregation helpers.
+package metrics
+
+import "sort"
+
+// SeriesTracker accumulates the lengths of consecutive runs of in-sequence
+// and reordered instructions in program order, weighted by series length,
+// for one thread. Feed it classifications in program order (the core feeds
+// it at retirement).
+type SeriesTracker struct {
+	curInSeq bool
+	curLen   int64
+	started  bool
+	// histograms: series length -> number of series of that length.
+	inSeq     map[int64]int64
+	reordered map[int64]int64
+}
+
+// NewSeriesTracker returns an empty tracker.
+func NewSeriesTracker() *SeriesTracker {
+	return &SeriesTracker{
+		inSeq:     make(map[int64]int64),
+		reordered: make(map[int64]int64),
+	}
+}
+
+// Observe records the classification of the next instruction in program
+// order.
+func (t *SeriesTracker) Observe(inSeq bool) {
+	if t.started && inSeq == t.curInSeq {
+		t.curLen++
+		return
+	}
+	t.flush()
+	t.started = true
+	t.curInSeq = inSeq
+	t.curLen = 1
+}
+
+// flush commits the current open series to its histogram.
+func (t *SeriesTracker) flush() {
+	if !t.started || t.curLen == 0 {
+		return
+	}
+	if t.curInSeq {
+		t.inSeq[t.curLen]++
+	} else {
+		t.reordered[t.curLen]++
+	}
+	t.curLen = 0
+}
+
+// Finish closes the trailing series; call once at end of simulation.
+func (t *SeriesTracker) Finish() { t.flush(); t.started = false }
+
+// CDFPoint is one point of a weighted cumulative distribution: the
+// fraction of instructions that belong to series of length <= Length.
+type CDFPoint struct {
+	Length   int64
+	CumFrac  float64
+	Fraction float64 // probability mass exactly at Length
+}
+
+// weightedCDF converts a length histogram into an instruction-weighted CDF.
+func weightedCDF(hist map[int64]int64) []CDFPoint {
+	if len(hist) == 0 {
+		return nil
+	}
+	lengths := make([]int64, 0, len(hist))
+	var total int64
+	for l, n := range hist {
+		lengths = append(lengths, l)
+		total += l * n
+	}
+	sort.Slice(lengths, func(i, j int) bool { return lengths[i] < lengths[j] })
+	out := make([]CDFPoint, 0, len(lengths))
+	var cum int64
+	for _, l := range lengths {
+		w := l * hist[l]
+		cum += w
+		out = append(out, CDFPoint{
+			Length:   l,
+			CumFrac:  float64(cum) / float64(total),
+			Fraction: float64(w) / float64(total),
+		})
+	}
+	return out
+}
+
+// InSeqCDF returns the weighted CDF of in-sequence series lengths.
+func (t *SeriesTracker) InSeqCDF() []CDFPoint { return weightedCDF(t.inSeq) }
+
+// ReorderedCDF returns the weighted CDF of reordered series lengths.
+func (t *SeriesTracker) ReorderedCDF() []CDFPoint { return weightedCDF(t.reordered) }
+
+// MeanSeriesLength returns the instruction-weighted mean series length for
+// the requested class (every instruction reports the length of the series
+// containing it; this is the mean of that quantity).
+func (t *SeriesTracker) MeanSeriesLength(inSeq bool) float64 {
+	hist := t.reordered
+	if inSeq {
+		hist = t.inSeq
+	}
+	var num, den int64
+	for l, n := range hist {
+		num += l * l * n
+		den += l * n
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Counts returns total instructions observed in each class.
+func (t *SeriesTracker) Counts() (inSeq, reordered int64) {
+	for l, n := range t.inSeq {
+		inSeq += l * n
+	}
+	for l, n := range t.reordered {
+		reordered += l * n
+	}
+	return
+}
+
+// Merge folds other's histograms into t (used to aggregate across threads
+// or benchmarks; both trackers must be Finished first).
+func (t *SeriesTracker) Merge(other *SeriesTracker) {
+	for l, n := range other.inSeq {
+		t.inSeq[l] += n
+	}
+	for l, n := range other.reordered {
+		t.reordered[l] += n
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// STP computes system throughput (Eyerman & Eeckhout, IEEE Micro 2008):
+// the sum over threads of CPI_single/CPI_multi — the number of programs
+// the machine completes per unit time, normalized to single-threaded
+// execution. singleCPI[i] is thread i's clocks-per-instruction when run
+// alone on the same core; multiCPI[i] is its CPI within the mix.
+func STP(singleCPI, multiCPI []float64) (float64, error) {
+	if len(singleCPI) != len(multiCPI) {
+		return 0, fmt.Errorf("metrics: STP length mismatch %d vs %d", len(singleCPI), len(multiCPI))
+	}
+	var stp float64
+	for i := range singleCPI {
+		if multiCPI[i] <= 0 || singleCPI[i] <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive CPI at thread %d (single=%g multi=%g)",
+				i, singleCPI[i], multiCPI[i])
+		}
+		stp += singleCPI[i] / multiCPI[i]
+	}
+	return stp, nil
+}
+
+// ANTT computes average normalized turnaround time, the companion fairness
+// metric (lower is better): the mean over threads of CPI_multi/CPI_single.
+func ANTT(singleCPI, multiCPI []float64) (float64, error) {
+	if len(singleCPI) != len(multiCPI) {
+		return 0, fmt.Errorf("metrics: ANTT length mismatch %d vs %d", len(singleCPI), len(multiCPI))
+	}
+	if len(singleCPI) == 0 {
+		return 0, fmt.Errorf("metrics: ANTT of empty mix")
+	}
+	var sum float64
+	for i := range singleCPI {
+		if multiCPI[i] <= 0 || singleCPI[i] <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive CPI at thread %d", i)
+		}
+		sum += multiCPI[i] / singleCPI[i]
+	}
+	return sum / float64(len(singleCPI)), nil
+}
+
+// GeoMean returns the geometric mean of xs; it returns 0 for an empty
+// slice and an error for non-positive inputs.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	var logSum float64
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive value %g at index %d", x, i)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MinMedianMax returns the indices of the minimum, median and maximum
+// values of xs (median is the lower median for even lengths). It panics on
+// an empty slice.
+func MinMedianMax(xs []float64) (min, median, max int) {
+	if len(xs) == 0 {
+		panic("metrics: MinMedianMax of empty slice")
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection by full sort of indices (n is small: 28 mixes).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && xs[idx[j]] < xs[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx[0], idx[(len(idx)-1)/2], idx[len(idx)-1]
+}

@@ -1,0 +1,135 @@
+package steer
+
+import "fmt"
+
+// PLT is the Parent Loads Table for one thread: a bit matrix with one row
+// per architectural register and one column per tracked ("sampled") load.
+// A set bit means the register depends, directly or transitively, on the
+// column's load. When a tracked load runs past its predicted completion,
+// its column is "late" and the RCT countdowns of all rows containing that
+// column are frozen until the load completes (§IV-B schedule recovery).
+type PLT struct {
+	rows []uint32 // per-register parent-load bit vectors
+	busy uint32   // columns currently assigned to an in-flight load
+	late uint32   // columns whose load is past its predicted completion
+	// shelved marks columns whose load, or a dependent of whose load, was
+	// steered to the shelf: if such a load runs late, the shelf FIFO is
+	// blocked behind its tree, so the earliest-allowable trackers freeze.
+	shelved uint32
+	cols    int
+	loadSeq []int64 // per-column sequence tag of the owning load
+}
+
+// NewPLT builds a PLT with numRegs rows and cols tracked-load columns
+// (the paper finds 4 loads per thread sufficient). cols may be 0 (recovery
+// disabled, used by ablation studies).
+func NewPLT(numRegs, cols int) *PLT {
+	if numRegs <= 0 {
+		panic(fmt.Errorf("steer: non-positive register count %d", numRegs))
+	}
+	if cols < 0 || cols > 32 {
+		panic(fmt.Errorf("steer: PLT column count %d out of range [0,32]", cols))
+	}
+	return &PLT{
+		rows:    make([]uint32, numRegs),
+		cols:    cols,
+		loadSeq: make([]int64, cols),
+	}
+}
+
+// Cols returns the number of tracked-load columns.
+func (p *PLT) Cols() int { return p.cols }
+
+// AssignLoad claims a free column for the load with sequence tag seq whose
+// destination is register destReg, returning the column or -1 if none is
+// free. The destination's row is set to just this load's bit.
+func (p *PLT) AssignLoad(seq int64, destReg int) int {
+	for c := 0; c < p.cols; c++ {
+		if p.busy&(1<<c) == 0 {
+			p.busy |= 1 << c
+			p.loadSeq[c] = seq
+			if destReg >= 0 {
+				p.rows[destReg] = 1 << c
+			}
+			return c
+		}
+	}
+	return -1
+}
+
+// Propagate records that an instruction writing destReg read the given
+// source registers: the destination's parent set becomes the union of the
+// sources' parent sets.
+func (p *PLT) Propagate(destReg int, srcRegs ...int) {
+	if destReg < 0 {
+		return
+	}
+	var v uint32
+	for _, s := range srcRegs {
+		if s >= 0 {
+			v |= p.rows[s]
+		}
+	}
+	p.rows[destReg] = v
+}
+
+// MarkLate flags column col as late (its load missed its predicted
+// completion time).
+func (p *PLT) MarkLate(col int) {
+	if col >= 0 && col < p.cols {
+		p.late |= 1 << col
+	}
+}
+
+// LoadCompleted releases column col: the column's bits are cleared from
+// every row and the column becomes free for a new load.
+func (p *PLT) LoadCompleted(col int) {
+	if col < 0 || col >= p.cols {
+		return
+	}
+	mask := ^(uint32(1) << col)
+	for i := range p.rows {
+		p.rows[i] &= mask
+	}
+	p.busy &= mask
+	p.late &= mask
+	p.shelved &= mask
+}
+
+// Frozen reports whether register reg's RCT countdown must stall because it
+// depends on a late load.
+func (p *PLT) Frozen(reg int) bool {
+	return p.rows[reg]&p.late != 0
+}
+
+// LateMask returns the bit vector of currently late columns.
+func (p *PLT) LateMask() uint32 { return p.late }
+
+// MarkShelved records that an instruction depending on the given columns
+// (or the column's load itself) was steered to the shelf.
+func (p *PLT) MarkShelved(cols uint32) { p.shelved |= cols & p.busy }
+
+// LateShelved reports whether any late column has shelved dependents —
+// the condition under which the shelf FIFO is known to be blocked.
+func (p *PLT) LateShelved() bool { return p.late&p.shelved != 0 }
+
+// Row returns the parent-load bit vector for reg (for tests).
+func (p *PLT) Row(reg int) uint32 { return p.rows[reg] }
+
+// Reset clears all rows and columns (thread squash).
+func (p *PLT) Reset() {
+	for i := range p.rows {
+		p.rows[i] = 0
+	}
+	p.busy, p.late, p.shelved = 0, 0, 0
+}
+
+// SquashYoungerThan releases every column whose load is younger than or
+// equal to seq (the load was squashed and will never complete).
+func (p *PLT) SquashYoungerThan(seq int64) {
+	for c := 0; c < p.cols; c++ {
+		if p.busy&(1<<c) != 0 && p.loadSeq[c] >= seq {
+			p.LoadCompleted(c)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package steer implements the hardware structures behind the paper's
+// practical steering mechanism (§IV-B): the Ready Cycle Table (RCT) of
+// saturating per-architectural-register countdown counters, and the Parent
+// Loads Table (PLT) bit matrix used to freeze the countdowns of a late
+// load's dependence tree. The structures are pure state machines over
+// (architectural register, cycle) and know nothing about the core, so they
+// can be tested in isolation; internal/core drives them.
+package steer
+
+import "fmt"
+
+// RCT is the Ready Cycle Table for one thread: for every architectural
+// register it predicts how many cycles remain until the register's value is
+// ready. Counters saturate at the configured width (5 bits in the paper:
+// range 0..31) and are decremented once per cycle unless frozen by the PLT.
+type RCT struct {
+	max     uint32
+	counter []uint32
+}
+
+// NewRCT builds an RCT over numRegs registers with bits-wide counters; it
+// panics on a zero width (configuration is programmer input).
+func NewRCT(numRegs int, bits uint) *RCT {
+	if bits == 0 || bits > 31 {
+		panic(fmt.Errorf("steer: RCT width %d out of range", bits))
+	}
+	if numRegs <= 0 {
+		panic(fmt.Errorf("steer: non-positive register count %d", numRegs))
+	}
+	return &RCT{
+		max:     1<<bits - 1,
+		counter: make([]uint32, numRegs),
+	}
+}
+
+// Max returns the saturation value of the counters.
+func (r *RCT) Max() uint32 { return r.max }
+
+// Ready returns the predicted cycles until register reg is ready.
+func (r *RCT) Ready(reg int) uint32 { return r.counter[reg] }
+
+// SetReady records a prediction that reg will be ready in cycles cycles,
+// saturating at the counter width.
+func (r *RCT) SetReady(reg int, cycles uint32) {
+	if cycles > r.max {
+		cycles = r.max
+	}
+	r.counter[reg] = cycles
+}
+
+// Tick decrements every non-zero counter whose register is not frozen.
+// frozen may be nil (nothing frozen).
+func (r *RCT) Tick(frozen func(reg int) bool) {
+	for reg := range r.counter {
+		if r.counter[reg] == 0 {
+			continue
+		}
+		if frozen != nil && frozen(reg) {
+			continue
+		}
+		r.counter[reg]--
+	}
+}
+
+// Reset zeroes every counter (used on thread squash, where all predictions
+// are stale).
+func (r *RCT) Reset() {
+	for i := range r.counter {
+		r.counter[i] = 0
+	}
+}

@@ -1,0 +1,219 @@
+package steer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRCTSetAndRead(t *testing.T) {
+	r := NewRCT(8, 5)
+	if r.Max() != 31 {
+		t.Fatalf("5-bit max = %d, want 31", r.Max())
+	}
+	r.SetReady(3, 7)
+	if got := r.Ready(3); got != 7 {
+		t.Errorf("Ready(3) = %d, want 7", got)
+	}
+	r.SetReady(3, 1000)
+	if got := r.Ready(3); got != 31 {
+		t.Errorf("saturation failed: %d", got)
+	}
+}
+
+func TestRCTTickDecrements(t *testing.T) {
+	r := NewRCT(4, 5)
+	r.SetReady(0, 2)
+	r.Tick(nil)
+	if got := r.Ready(0); got != 1 {
+		t.Errorf("after one tick Ready = %d, want 1", got)
+	}
+	r.Tick(nil)
+	r.Tick(nil)
+	if got := r.Ready(0); got != 0 {
+		t.Errorf("counter should clamp at 0, got %d", got)
+	}
+}
+
+func TestRCTFreeze(t *testing.T) {
+	r := NewRCT(4, 5)
+	r.SetReady(0, 5)
+	r.SetReady(1, 5)
+	frozen := func(reg int) bool { return reg == 0 }
+	for i := 0; i < 3; i++ {
+		r.Tick(frozen)
+	}
+	if got := r.Ready(0); got != 5 {
+		t.Errorf("frozen counter moved: %d", got)
+	}
+	if got := r.Ready(1); got != 2 {
+		t.Errorf("unfrozen counter = %d, want 2", got)
+	}
+}
+
+func TestRCTReset(t *testing.T) {
+	r := NewRCT(4, 5)
+	r.SetReady(2, 9)
+	r.Reset()
+	if r.Ready(2) != 0 {
+		t.Error("reset did not zero counters")
+	}
+}
+
+func TestRCTPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRCT(0, 5) },
+		func() { NewRCT(4, 0) },
+		func() { NewRCT(4, 40) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPLTAssignAndRelease(t *testing.T) {
+	p := NewPLT(8, 2)
+	c0 := p.AssignLoad(10, 1)
+	c1 := p.AssignLoad(11, 2)
+	if c0 != 0 || c1 != 1 {
+		t.Fatalf("columns = %d,%d", c0, c1)
+	}
+	if p.AssignLoad(12, 3) != -1 {
+		t.Fatal("third load should find no free column")
+	}
+	p.LoadCompleted(c0)
+	if p.AssignLoad(13, 4) != 0 {
+		t.Fatal("released column should be reused")
+	}
+}
+
+func TestPLTPropagation(t *testing.T) {
+	p := NewPLT(8, 4)
+	col := p.AssignLoad(1, 2) // load -> r2
+	p.Propagate(3, 2)         // r3 = f(r2)
+	p.Propagate(4, 3, 5)      // r4 = f(r3, r5)
+	if p.Row(4)&(1<<uint(col)) == 0 {
+		t.Error("transitive dependence not propagated")
+	}
+	// Overwriting r3 from independent sources clears its parents.
+	p.Propagate(3, 6)
+	if p.Row(3) != 0 {
+		t.Error("overwrite should clear parents")
+	}
+}
+
+func TestPLTLateFreeze(t *testing.T) {
+	p := NewPLT(8, 4)
+	col := p.AssignLoad(1, 2)
+	p.Propagate(3, 2)
+	if p.Frozen(3) {
+		t.Fatal("nothing late yet")
+	}
+	p.MarkLate(col)
+	if !p.Frozen(3) || !p.Frozen(2) {
+		t.Error("dependents of a late load must freeze")
+	}
+	if p.Frozen(5) {
+		t.Error("independent register frozen")
+	}
+	p.LoadCompleted(col)
+	if p.Frozen(3) {
+		t.Error("completion must thaw the tree")
+	}
+}
+
+func TestPLTShelvedTracking(t *testing.T) {
+	p := NewPLT(8, 4)
+	col := p.AssignLoad(1, 2)
+	p.MarkLate(col)
+	if p.LateShelved() {
+		t.Fatal("no shelved dependents yet")
+	}
+	p.MarkShelved(p.Row(2))
+	if !p.LateShelved() {
+		t.Fatal("late+shelved should be flagged")
+	}
+	p.LoadCompleted(col)
+	if p.LateShelved() {
+		t.Error("completion should clear the flag")
+	}
+}
+
+func TestPLTSquash(t *testing.T) {
+	p := NewPLT(8, 4)
+	p.AssignLoad(5, 1)
+	p.AssignLoad(9, 2)
+	p.SquashYoungerThan(9)
+	// Column for seq 9 released; seq 5 kept.
+	if p.Row(2) != 0 {
+		t.Error("squashed load's row not cleared")
+	}
+	if p.Row(1) == 0 {
+		t.Error("elder load should survive the squash")
+	}
+}
+
+func TestPLTZeroColumns(t *testing.T) {
+	p := NewPLT(8, 0)
+	if p.AssignLoad(1, 2) != -1 {
+		t.Error("zero-column PLT must refuse assignments")
+	}
+	if p.Frozen(2) || p.LateShelved() {
+		t.Error("zero-column PLT should never freeze")
+	}
+}
+
+func TestPLTReset(t *testing.T) {
+	p := NewPLT(8, 4)
+	col := p.AssignLoad(1, 2)
+	p.MarkLate(col)
+	p.MarkShelved(p.Row(2))
+	p.Reset()
+	if p.LateMask() != 0 || p.Row(2) != 0 || p.LateShelved() {
+		t.Error("reset left state behind")
+	}
+}
+
+// Property: RCT counters never exceed the saturation maximum.
+func TestRCTSaturationProperty(t *testing.T) {
+	r := NewRCT(16, 5)
+	f := func(reg uint8, val uint32, ticks uint8) bool {
+		idx := int(reg) % 16
+		r.SetReady(idx, val)
+		for i := 0; i < int(ticks%8); i++ {
+			r.Tick(nil)
+		}
+		for i := 0; i < 16; i++ {
+			if r.Ready(i) > r.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PLT busy/late/shelved masks never reference unassigned columns.
+func TestPLTMaskInvariantProperty(t *testing.T) {
+	p := NewPLT(8, 4)
+	seq := int64(0)
+	f := func(dest uint8, late bool, complete uint8) bool {
+		seq++
+		col := p.AssignLoad(seq, int(dest%8))
+		if late && col >= 0 {
+			p.MarkLate(col)
+		}
+		p.LoadCompleted(int(complete) % 4)
+		return p.LateMask()&^uint32(0xf) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

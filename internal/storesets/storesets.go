@@ -1,0 +1,156 @@
+// Package storesets implements the store-sets memory dependence predictor
+// (Chrysos & Emer, ISCA 1998) used by the paper (§III-D) to keep loads from
+// issuing past stores they have historically conflicted with.
+//
+// Two tables are modeled: the Store Set ID Table (SSIT), indexed by
+// instruction PC, assigning load and store PCs to store sets; and the Last
+// Fetched Store Table (LFST), which tracks the most recent in-flight store
+// of each set. A load whose PC maps to a set with an in-flight store must
+// wait for that store; when a memory-order violation is detected the
+// offending load and store are placed in a common set.
+package storesets
+
+import "fmt"
+
+// Config sizes the predictor.
+type Config struct {
+	// SSITEntries is the PC-indexed store-set ID table size (power of two).
+	SSITEntries int
+	// MaxSets is the number of distinct store sets (LFST entries).
+	MaxSets int
+}
+
+// DefaultConfig matches a typical store-sets deployment.
+func DefaultConfig() Config { return Config{SSITEntries: 4096, MaxSets: 256} }
+
+// Validate reports a configuration error, if any.
+func (c *Config) Validate() error {
+	if c.SSITEntries <= 0 || c.SSITEntries&(c.SSITEntries-1) != 0 {
+		return fmt.Errorf("storesets: SSIT entries %d must be a positive power of two", c.SSITEntries)
+	}
+	if c.MaxSets <= 0 {
+		return fmt.Errorf("storesets: non-positive set count %d", c.MaxSets)
+	}
+	return nil
+}
+
+// InvalidSet marks a PC with no assigned store set.
+const InvalidSet = -1
+
+// Stats counts predictor activity.
+type Stats struct {
+	Assignments uint64 // new set assignments from violations
+	LoadWaits   uint64 // loads forced to wait on a predicted store
+}
+
+// Predictor is the store-sets state. It is shared across threads in an SMT
+// core (PCs are thread-tagged by the caller if needed).
+type Predictor struct {
+	cfg     Config
+	ssit    []int32 // PC hash -> store set id (InvalidSet if none)
+	lfst    []int64 // set id -> sequence tag of last in-flight store, or -1
+	nextSet int32
+	// Stats is exported for harness reporting.
+	Stats Stats
+}
+
+// New builds a predictor; it panics on invalid configuration.
+func New(cfg Config) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Predictor{
+		cfg:  cfg,
+		ssit: make([]int32, cfg.SSITEntries),
+		lfst: make([]int64, cfg.MaxSets),
+	}
+	for i := range p.ssit {
+		p.ssit[i] = InvalidSet
+	}
+	for i := range p.lfst {
+		p.lfst[i] = -1
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) int {
+	return int((pc >> 2) & uint64(p.cfg.SSITEntries-1))
+}
+
+// SetOf returns the store set assigned to pc, or InvalidSet.
+func (p *Predictor) SetOf(pc uint64) int {
+	return int(p.ssit[p.index(pc)])
+}
+
+// StoreDispatched records that the store at pc with global sequence tag seq
+// entered the window; it returns the sequence tag of the previous in-flight
+// store in the same set (the store this one must logically follow), or -1.
+func (p *Predictor) StoreDispatched(pc uint64, seq int64) (prev int64) {
+	set := p.SetOf(pc)
+	if set == InvalidSet {
+		return -1
+	}
+	prev = p.lfst[set]
+	p.lfst[set] = seq
+	return prev
+}
+
+// LoadDependsOn returns the sequence tag of the in-flight store the load at
+// pc must wait for, or -1 if the load may issue freely.
+func (p *Predictor) LoadDependsOn(pc uint64) int64 {
+	set := p.SetOf(pc)
+	if set == InvalidSet {
+		return -1
+	}
+	dep := p.lfst[set]
+	if dep >= 0 {
+		p.Stats.LoadWaits++
+	}
+	return dep
+}
+
+// StoreCompleted clears the LFST entry if the completing store (sequence
+// tag seq) is still the set's last fetched store.
+func (p *Predictor) StoreCompleted(pc uint64, seq int64) {
+	set := p.SetOf(pc)
+	if set == InvalidSet {
+		return
+	}
+	if p.lfst[set] == seq {
+		p.lfst[set] = -1
+	}
+}
+
+// Violation trains the predictor after a memory-order violation between a
+// load and an elder store: both PCs are merged into one store set,
+// following the paper's store-set assignment rules.
+func (p *Predictor) Violation(loadPC, storePC uint64) {
+	li, si := p.index(loadPC), p.index(storePC)
+	ls, ss := p.ssit[li], p.ssit[si]
+	switch {
+	case ls == InvalidSet && ss == InvalidSet:
+		set := p.nextSet
+		p.nextSet = (p.nextSet + 1) % int32(p.cfg.MaxSets)
+		p.ssit[li], p.ssit[si] = set, set
+		p.Stats.Assignments++
+	case ls == InvalidSet:
+		p.ssit[li] = ss
+		p.Stats.Assignments++
+	case ss == InvalidSet:
+		p.ssit[si] = ls
+		p.Stats.Assignments++
+	case ls != ss:
+		// Merge into the lower-numbered set (declining priority rule).
+		if ls < ss {
+			p.ssit[si] = ls
+		} else {
+			p.ssit[li] = ss
+		}
+		p.Stats.Assignments++
+	}
+}
+
+// SquashStore invalidates the LFST entry for a squashed in-flight store.
+func (p *Predictor) SquashStore(pc uint64, seq int64) {
+	p.StoreCompleted(pc, seq)
+}

@@ -1,0 +1,154 @@
+package storesets
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	def := DefaultConfig()
+	if err := def.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bads := []Config{
+		{SSITEntries: 0, MaxSets: 4},
+		{SSITEntries: 100, MaxSets: 4}, // not a power of two
+		{SSITEntries: 64, MaxSets: 0},
+	}
+	for i := range bads {
+		if err := bads[i].Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestColdPredictorPredictsNothing(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.SetOf(0x100) != InvalidSet {
+		t.Error("cold SSIT entry should be invalid")
+	}
+	if dep := p.LoadDependsOn(0x100); dep != -1 {
+		t.Errorf("cold load dependence = %d, want -1", dep)
+	}
+	if prev := p.StoreDispatched(0x200, 1); prev != -1 {
+		t.Errorf("cold store predecessor = %d, want -1", prev)
+	}
+}
+
+func TestViolationCreatesSharedSet(t *testing.T) {
+	p := New(DefaultConfig())
+	const loadPC, storePC = 0x100, 0x200
+	p.Violation(loadPC, storePC)
+	ls, ss := p.SetOf(loadPC), p.SetOf(storePC)
+	if ls == InvalidSet || ls != ss {
+		t.Fatalf("violation did not merge sets: load=%d store=%d", ls, ss)
+	}
+	if p.Stats.Assignments != 1 {
+		t.Errorf("assignments = %d, want 1", p.Stats.Assignments)
+	}
+}
+
+func TestLoadWaitsForTrainedStore(t *testing.T) {
+	p := New(DefaultConfig())
+	const loadPC, storePC = 0x100, 0x200
+	p.Violation(loadPC, storePC)
+
+	p.StoreDispatched(storePC, 42)
+	if dep := p.LoadDependsOn(loadPC); dep != 42 {
+		t.Fatalf("load dependence = %d, want 42", dep)
+	}
+	p.StoreCompleted(storePC, 42)
+	if dep := p.LoadDependsOn(loadPC); dep != -1 {
+		t.Fatalf("dependence should clear on completion, got %d", dep)
+	}
+}
+
+func TestStoreChainOrdering(t *testing.T) {
+	p := New(DefaultConfig())
+	const loadPC, storePC = 0x100, 0x200
+	p.Violation(loadPC, storePC)
+	if prev := p.StoreDispatched(storePC, 10); prev != -1 {
+		t.Fatalf("first store predecessor = %d, want -1", prev)
+	}
+	if prev := p.StoreDispatched(storePC, 11); prev != 10 {
+		t.Fatalf("second store predecessor = %d, want 10", prev)
+	}
+	// Completion of a superseded store must not clear the newer one.
+	p.StoreCompleted(storePC, 10)
+	if dep := p.LoadDependsOn(loadPC); dep != 11 {
+		t.Fatalf("dependence = %d, want 11", dep)
+	}
+}
+
+func TestMergeRuleLowerSetWins(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Violation(0x100, 0x200) // set 0
+	p.Violation(0x300, 0x400) // set 1
+	p.Violation(0x100, 0x400) // merge: both move to set 0
+	if p.SetOf(0x100) != p.SetOf(0x400) {
+		t.Error("sets not merged")
+	}
+	if got := p.SetOf(0x400); got != p.SetOf(0x200) {
+		t.Errorf("merge should pick the lower set: %d", got)
+	}
+}
+
+func TestPartialAssignments(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Violation(0x100, 0x200)
+	// New load joins existing store set.
+	p.Violation(0x500, 0x200)
+	if p.SetOf(0x500) != p.SetOf(0x200) {
+		t.Error("load did not join the store's set")
+	}
+	// New store joins existing load set.
+	p.Violation(0x100, 0x600)
+	if p.SetOf(0x600) != p.SetOf(0x100) {
+		t.Error("store did not join the load's set")
+	}
+}
+
+func TestSquashStoreClearsLFST(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Violation(0x100, 0x200)
+	p.StoreDispatched(0x200, 7)
+	p.SquashStore(0x200, 7)
+	if dep := p.LoadDependsOn(0x100); dep != -1 {
+		t.Errorf("dependence after squash = %d, want -1", dep)
+	}
+}
+
+func TestLoadWaitStatCounts(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Violation(0x100, 0x200)
+	p.StoreDispatched(0x200, 1)
+	p.LoadDependsOn(0x100)
+	if p.Stats.LoadWaits != 1 {
+		t.Errorf("load waits = %d, want 1", p.Stats.LoadWaits)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New should panic on invalid config")
+		}
+	}()
+	New(Config{SSITEntries: 3, MaxSets: 1})
+}
+
+// Property: set identifiers stay within [0, MaxSets) for arbitrary PCs.
+func TestSetRangeProperty(t *testing.T) {
+	cfg := Config{SSITEntries: 256, MaxSets: 8}
+	p := New(cfg)
+	f := func(a, b uint64) bool {
+		p.Violation(a, b)
+		sa, sb := p.SetOf(a), p.SetOf(b)
+		okA := sa == InvalidSet || (sa >= 0 && sa < cfg.MaxSets)
+		okB := sb == InvalidSet || (sb >= 0 && sb < cfg.MaxSets)
+		return okA && okB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

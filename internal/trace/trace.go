@@ -1,0 +1,194 @@
+// Package trace records dynamic instruction streams to a compact binary
+// format and replays them as isa.Streams. Frozen traces decouple
+// experiments from the workload generators: a recorded trace replays
+// bit-identically regardless of future changes to kernel definitions,
+// which is how regression baselines are pinned.
+//
+// Format (little-endian):
+//
+//	magic   "SHLFTRC1" (8 bytes)
+//	name    uint16 length + bytes
+//	count   uint64 instruction count
+//	records count fixed-width records (see encodeInst)
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"shelfsim/internal/isa"
+)
+
+var magic = [8]byte{'S', 'H', 'L', 'F', 'T', 'R', 'C', '1'}
+
+// recordSize is the fixed on-disk size of one instruction record.
+const recordSize = 8 + 1 + 2 + 2*isa.MaxSrcs + 8 + 1 + 1 + 8
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// encodeInst writes one instruction record into buf (len >= recordSize).
+func encodeInst(buf []byte, in *isa.Inst) {
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], in.PC)
+	buf[8] = uint8(in.Op)
+	le.PutUint16(buf[9:], uint16(in.Dest))
+	off := 11
+	for i := 0; i < isa.MaxSrcs; i++ {
+		le.PutUint16(buf[off:], uint16(in.Srcs[i]))
+		off += 2
+	}
+	le.PutUint64(buf[off:], in.Addr)
+	off += 8
+	buf[off] = in.Size
+	off++
+	if in.Taken {
+		buf[off] = 1
+	} else {
+		buf[off] = 0
+	}
+	off++
+	le.PutUint64(buf[off:], in.Target)
+}
+
+// decodeInst parses one record from buf into *in.
+func decodeInst(buf []byte, in *isa.Inst) error {
+	le := binary.LittleEndian
+	in.PC = le.Uint64(buf[0:])
+	op := isa.OpClass(buf[8])
+	if op >= isa.NumOpClasses {
+		return fmt.Errorf("%w: op class %d", ErrBadTrace, buf[8])
+	}
+	in.Op = op
+	in.Dest = int16(le.Uint16(buf[9:]))
+	off := 11
+	for i := 0; i < isa.MaxSrcs; i++ {
+		in.Srcs[i] = int16(le.Uint16(buf[off:]))
+		off += 2
+	}
+	in.Addr = le.Uint64(buf[off:])
+	off += 8
+	in.Size = buf[off]
+	off++
+	in.Taken = buf[off] == 1
+	off++
+	in.Target = le.Uint64(buf[off:])
+	return nil
+}
+
+// Record drains up to limit instructions from src (all of them if limit
+// < 0) and writes the trace to w. It returns the number of instructions
+// recorded.
+func Record(w io.Writer, src isa.Stream, limit int64) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return 0, err
+	}
+	name := src.Name()
+	if len(name) > 0xffff {
+		return 0, fmt.Errorf("trace: stream name too long (%d bytes)", len(name))
+	}
+	var nameLen [2]byte
+	binary.LittleEndian.PutUint16(nameLen[:], uint16(len(name)))
+	if _, err := bw.Write(nameLen[:]); err != nil {
+		return 0, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return 0, err
+	}
+
+	// The count is not known up front for unbounded streams, so buffer
+	// the records and backfill: record bodies first into memory.
+	var body []byte
+	var buf [recordSize]byte
+	var n int64
+	var in isa.Inst
+	for limit < 0 || n < limit {
+		if !src.Next(&in) {
+			break
+		}
+		encodeInst(buf[:], &in)
+		body = append(body, buf[:]...)
+		n++
+	}
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], uint64(n))
+	if _, err := bw.Write(count[:]); err != nil {
+		return 0, err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return 0, err
+	}
+	return n, bw.Flush()
+}
+
+// Reader replays a recorded trace as an isa.Stream.
+type Reader struct {
+	name  string
+	insts []isa.Inst
+	pos   int
+}
+
+var _ isa.Stream = (*Reader)(nil)
+
+// NewReader parses a trace from r, loading it fully into memory.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var head [8]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if head != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	var nameLen [2]byte
+	if _, err := io.ReadFull(br, nameLen[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	name := make([]byte, binary.LittleEndian.Uint16(nameLen[:]))
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	var countBuf [8]byte
+	if _, err := io.ReadFull(br, countBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	count := binary.LittleEndian.Uint64(countBuf[:])
+	const sanityMax = 1 << 28 // 256M instructions ~ 8 GiB of records
+	if count > sanityMax {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadTrace, count)
+	}
+	out := &Reader{name: string(name), insts: make([]isa.Inst, count)}
+	var rec [recordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at %d: %v", ErrBadTrace, i, err)
+		}
+		if err := decodeInst(rec[:], &out.insts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Name implements isa.Stream.
+func (r *Reader) Name() string { return r.name }
+
+// Next implements isa.Stream.
+func (r *Reader) Next(out *isa.Inst) bool {
+	if r.pos >= len(r.insts) {
+		return false
+	}
+	*out = r.insts[r.pos]
+	r.pos++
+	return true
+}
+
+// Len returns the total number of recorded instructions.
+func (r *Reader) Len() int { return len(r.insts) }
+
+// Reset rewinds the reader so the trace can be replayed again.
+func (r *Reader) Reset() { r.pos = 0 }

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"shelfsim/internal/isa"
+	"shelfsim/internal/workload"
+)
+
+func recordKernel(t *testing.T, name string, n int64) (*bytes.Buffer, int64) {
+	t.Helper()
+	k, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	count, err := Record(&buf, k.NewStream(1<<32, 7, n), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &buf, count
+}
+
+func TestRoundTrip(t *testing.T) {
+	buf, count := recordKernel(t, "stencil", 500)
+	if count != 500 {
+		t.Fatalf("recorded %d", count)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "stencil" || r.Len() != 500 {
+		t.Fatalf("header: name=%q len=%d", r.Name(), r.Len())
+	}
+	k, _ := workload.ByName("stencil")
+	orig := k.NewStream(1<<32, 7, 500)
+	var a, b isa.Inst
+	for i := 0; ; i++ {
+		okA := orig.Next(&a)
+		okB := r.Next(&b)
+		if okA != okB {
+			t.Fatalf("length mismatch at %d", i)
+		}
+		if !okA {
+			break
+		}
+		if a != b {
+			t.Fatalf("instruction %d: %v != %v", i, a, b)
+		}
+	}
+}
+
+func TestRecordLimit(t *testing.T) {
+	k, _ := workload.ByName("gups")
+	var buf bytes.Buffer
+	count, err := Record(&buf, k.NewStream(0, 1, -1), 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 123 {
+		t.Fatalf("recorded %d, want 123", count)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 123 {
+		t.Fatalf("replayed %d", r.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	buf, _ := recordKernel(t, "matblock", 50)
+	r, err := NewReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, again isa.Inst
+	r.Next(&first)
+	r.Reset()
+	r.Next(&again)
+	if first != again {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________"),
+	}
+	for i, b := range cases {
+		if _, err := NewReader(bytes.NewReader(b)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: err = %v, want ErrBadTrace", i, err)
+		}
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	buf, _ := recordKernel(t, "reduce", 50)
+	b := buf.Bytes()
+	if _, err := NewReader(bytes.NewReader(b[:len(b)-5])); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("truncated trace accepted: %v", err)
+	}
+}
+
+func TestBadOpClassRejected(t *testing.T) {
+	buf, _ := recordKernel(t, "reduce", 2)
+	b := buf.Bytes()
+	// Corrupt the first record's op class byte (after magic+name+count).
+	k, _ := workload.ByName("reduce")
+	_ = k
+	hdr := 8 + 2 + len("reduce") + 8
+	b[hdr+8] = 0xff
+	if _, err := NewReader(bytes.NewReader(b)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("corrupt op class accepted: %v", err)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary instructions.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(pc uint64, op uint8, dest int16, s0, s1, s2 int16,
+		addr uint64, size uint8, taken bool, target uint64) bool {
+		in := isa.Inst{
+			PC:     pc,
+			Op:     isa.OpClass(op % uint8(isa.NumOpClasses)),
+			Dest:   dest,
+			Srcs:   [isa.MaxSrcs]int16{s0, s1, s2},
+			Addr:   addr,
+			Size:   size,
+			Taken:  taken,
+			Target: target,
+		}
+		var buf [recordSize]byte
+		encodeInst(buf[:], &in)
+		var out isa.Inst
+		if err := decodeInst(buf[:], &out); err != nil {
+			return false
+		}
+		return in == out
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package workload generates deterministic synthetic instruction streams
+// that stand in for the paper's SPEC CPU2006 benchmarks. Each kernel is a
+// small loop program with a characteristic register-dependence distance
+// distribution, memory footprint, and branch behaviour, chosen so the suite
+// spans the same range of in-sequence behaviour the paper observes (Fig. 11):
+// from pointer-chasing (serial, miss-bound) to wide independent ALU code.
+package workload
+
+import (
+	"fmt"
+
+	"shelfsim/internal/isa"
+)
+
+// addrFunc computes the effective address of a memory op for loop iteration
+// it; r provides reproducible randomness.
+type addrFunc func(it int64, r *rng) uint64
+
+// takenFunc decides a data-dependent branch outcome for iteration it.
+type takenFunc func(it int64, r *rng) bool
+
+// op is one static instruction in a kernel's loop body.
+type op struct {
+	cls  isa.OpClass
+	dest int16
+	srcs [isa.MaxSrcs]int16
+	// addr computes effective addresses for memory ops.
+	addr addrFunc
+	// taken decides branch direction; nil means never taken.
+	taken takenFunc
+	// skip is the number of subsequent body ops skipped when the branch
+	// is taken (a forward hammock).
+	skip int
+}
+
+// reg builds a source operand array from up to three registers.
+func reg(srcs ...int16) [isa.MaxSrcs]int16 {
+	out := [isa.MaxSrcs]int16{isa.RegInvalid, isa.RegInvalid, isa.RegInvalid}
+	copy(out[:], srcs)
+	for i := len(srcs); i < isa.MaxSrcs; i++ {
+		out[i] = isa.RegInvalid
+	}
+	return out
+}
+
+// Kernel is a named loop program that can instantiate per-thread streams.
+type Kernel struct {
+	// Name is the benchmark identifier used in mixes and reports.
+	Name string
+	// Description summarizes the behaviour the kernel models.
+	Description string
+	body        []op
+	// footprint is the size in bytes of the kernel's data region.
+	footprint uint64
+}
+
+// stream is the dynamic instruction generator for one kernel instance.
+type stream struct {
+	k      *Kernel
+	r      *rng
+	base   uint64 // data region base address (per thread)
+	pcBase uint64
+	it     int64 // current loop iteration
+	pos    int   // index into body; len(body) means the back-edge branch
+	limit  int64 // total instructions to emit; <0 means unbounded
+	count  int64
+}
+
+// NewStream instantiates the kernel for one thread. base separates the
+// thread's data region from other threads; seed perturbs data-dependent
+// behaviour; limit bounds the number of instructions (<0 for unbounded).
+func (k *Kernel) NewStream(base uint64, seed uint64, limit int64) isa.Stream {
+	return &stream{
+		k:      k,
+		r:      newRNG(hashString(k.Name) ^ seed),
+		base:   base,
+		pcBase: 0x10000 + (hashString(k.Name)&0xffff)<<6,
+		limit:  limit,
+	}
+}
+
+// Name implements isa.Stream.
+func (s *stream) Name() string { return s.k.Name }
+
+// Next implements isa.Stream.
+func (s *stream) Next(out *isa.Inst) bool {
+	if s.limit >= 0 && s.count >= s.limit {
+		return false
+	}
+	s.count++
+
+	body := s.k.body
+	if s.pos >= len(body) {
+		// Back-edge branch: always taken (streams are bounded by limit,
+		// not trip count, so the loop is effectively infinite).
+		*out = isa.Inst{
+			PC:     s.pcBase + uint64(len(body))*4,
+			Op:     isa.OpBranch,
+			Dest:   isa.RegInvalid,
+			Srcs:   reg(),
+			Taken:  true,
+			Target: s.pcBase,
+		}
+		s.pos = 0
+		s.it++
+		return true
+	}
+
+	o := &body[s.pos]
+	*out = isa.Inst{
+		PC:   s.pcBase + uint64(s.pos)*4,
+		Op:   o.cls,
+		Dest: o.dest,
+		Srcs: o.srcs,
+	}
+	if o.cls.IsMem() {
+		out.Addr = s.base + o.addr(s.it, s.r)%s.k.footprint
+		out.Size = 8
+	}
+	if o.cls == isa.OpBranch {
+		taken := o.taken != nil && o.taken(s.it, s.r)
+		out.Taken = taken
+		if taken {
+			out.Target = s.pcBase + uint64(s.pos+1+o.skip)*4
+			s.pos += o.skip // skip the hammock body
+		}
+	}
+	s.pos++
+	return true
+}
+
+// Footprint returns the kernel's data region size in bytes.
+func (k *Kernel) Footprint() uint64 { return k.footprint }
+
+// BodyLen returns the static loop body length (excluding the back edge).
+func (k *Kernel) BodyLen() int { return len(k.body) }
+
+// String implements fmt.Stringer.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("%s (%s, footprint %d KiB, body %d ops)",
+		k.Name, k.Description, k.footprint>>10, len(k.body))
+}

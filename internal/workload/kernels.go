@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"fmt"
+
+	"shelfsim/internal/isa"
+)
+
+// Integer registers r1..r31 and FP registers f0..f31 (numbered 32..63).
+const (
+	r1 = int16(iota + 1)
+	r2
+	r3
+	r4
+	r5
+	r6
+	r7
+	r8
+	r9
+	r10
+)
+
+const (
+	f0 = int16(isa.NumIntRegs + iota)
+	f1
+	f2
+	f3
+	f4
+	f5
+	f6
+	f7
+	f8
+	f9
+)
+
+// randAt is a pure hash of (iteration, salt): memory ops that must touch
+// the same location within an iteration (e.g. GUPS read-modify-write) call
+// it with equal arguments.
+func randAt(it int64, salt uint64) uint64 {
+	z := uint64(it)*0x9e3779b97f4a7c15 + salt
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// seq strides through an array region: base offset + it*stride.
+func seq(offset uint64, stride int64) addrFunc {
+	return func(it int64, _ *rng) uint64 {
+		return offset + uint64(it)*uint64(stride)
+	}
+}
+
+// random picks a pseudo-random (but iteration-determined) address.
+func random(salt uint64) addrFunc {
+	return func(it int64, _ *rng) uint64 { return randAt(it, salt) &^ 7 }
+}
+
+// withProb returns a branch-outcome function that is taken with probability
+// p, decided by a pure hash of the iteration so outcomes are reproducible.
+func withProb(p float64, salt uint64) takenFunc {
+	threshold := uint64(p * float64(^uint64(0)>>11))
+	return func(it int64, _ *rng) bool {
+		return randAt(it, salt)>>11 < threshold
+	}
+}
+
+const (
+	kib = 1024
+	mib = 1024 * 1024
+)
+
+// kernels is the full suite, in canonical order. The set is designed to
+// span low-ILP/serial (ptrchase) through high-ILP (ilpmax) behaviour, with
+// footprints resident in L1, L2, and DRAM, mirroring the spread of
+// behaviours across SPEC CPU2006 that the paper's Fig. 11 shows.
+var kernels = []*Kernel{
+	{
+		Name:        "ptrchase",
+		Description: "serial dependent loads chasing through an L2-sized list",
+		footprint:   256 * kib,
+		body: []op{
+			{cls: isa.OpLoad, dest: r1, srcs: reg(r1), addr: random(0x11)},
+			{cls: isa.OpIntAlu, dest: r2, srcs: reg(r1)},
+			{cls: isa.OpIntAlu, dest: r3, srcs: reg(r2)},
+		},
+	},
+	{
+		Name:        "stream",
+		Description: "triad a[i] = b[i] + s*c[i] streaming through DRAM",
+		footprint:   24 * mib,
+		body: []op{
+			{cls: isa.OpIntAlu, dest: r1, srcs: reg(r9)},
+			{cls: isa.OpLoad, dest: f1, srcs: reg(r1), addr: seq(0, 8)},
+			{cls: isa.OpFPMult, dest: f2, srcs: reg(f1, f0)},
+			{cls: isa.OpIntAlu, dest: r2, srcs: reg(r9)},
+			{cls: isa.OpLoad, dest: f3, srcs: reg(r2), addr: seq(8*mib, 8)},
+			{cls: isa.OpFPAdd, dest: f4, srcs: reg(f2, f3)},
+			{cls: isa.OpStore, srcs: reg(f4, r9), dest: isa.RegInvalid, addr: seq(16*mib, 8)},
+			{cls: isa.OpIntAlu, dest: r9, srcs: reg(r9)},
+		},
+	},
+	{
+		Name:        "stencil",
+		Description: "5-point stencil over an L2-resident grid",
+		footprint:   256 * kib,
+		body: []op{
+			{cls: isa.OpIntAlu, dest: r1, srcs: reg(r9)},
+			{cls: isa.OpLoad, dest: f1, srcs: reg(r1), addr: seq(0, 8)},
+			{cls: isa.OpIntAlu, dest: r2, srcs: reg(r1)},
+			{cls: isa.OpLoad, dest: f2, srcs: reg(r2), addr: seq(8, 8)},
+			{cls: isa.OpLoad, dest: f3, srcs: reg(r2), addr: seq(16, 8)},
+			{cls: isa.OpIntAlu, dest: r3, srcs: reg(r9)},
+			{cls: isa.OpLoad, dest: f4, srcs: reg(r3), addr: seq(4096, 8)},
+			{cls: isa.OpLoad, dest: f5, srcs: reg(r3), addr: seq(8192, 8)},
+			{cls: isa.OpFPAdd, dest: f6, srcs: reg(f1, f2)},
+			{cls: isa.OpFPAdd, dest: f7, srcs: reg(f3, f4)},
+			{cls: isa.OpIntAlu, dest: r4, srcs: reg(r3)},
+			{cls: isa.OpFPAdd, dest: f8, srcs: reg(f6, f7)},
+			{cls: isa.OpFPAdd, dest: f9, srcs: reg(f8, f5)},
+			{cls: isa.OpFPMult, dest: f9, srcs: reg(f9, f0)},
+			{cls: isa.OpStore, srcs: reg(f9, r4), dest: isa.RegInvalid, addr: seq(256*kib, 8)},
+			{cls: isa.OpIntAlu, dest: r9, srcs: reg(r9)},
+		},
+	},
+	{
+		Name:        "hashprobe",
+		Description: "randomized probes into a table with data-dependent branches",
+		footprint:   128 * kib,
+		body: []op{
+			{cls: isa.OpIntAlu, dest: r1, srcs: reg(r1)},
+			{cls: isa.OpLoad, dest: r2, srcs: reg(r1), addr: random(0x22)},
+			{cls: isa.OpIntAlu, dest: r3, srcs: reg(r2)},
+			{cls: isa.OpBranch, dest: isa.RegInvalid, srcs: reg(r3), taken: withProb(0.15, 0x23), skip: 2},
+			{cls: isa.OpIntAlu, dest: r4, srcs: reg(r3)},
+			{cls: isa.OpIntAlu, dest: r5, srcs: reg(r4)},
+			{cls: isa.OpIntAlu, dest: r6, srcs: reg(r1)},
+		},
+	},
+	{
+		Name:        "matblock",
+		Description: "blocked inner product over L1-resident tiles",
+		footprint:   16 * kib,
+		body: []op{
+			{cls: isa.OpLoad, dest: f1, srcs: reg(r9), addr: seq(0, 8)},
+			{cls: isa.OpLoad, dest: f2, srcs: reg(r9), addr: seq(8*kib, 8)},
+			{cls: isa.OpFPMult, dest: f3, srcs: reg(f1, f2)},
+			{cls: isa.OpFPAdd, dest: f0, srcs: reg(f0, f3)},
+			{cls: isa.OpIntAlu, dest: r9, srcs: reg(r9)},
+		},
+	},
+	{
+		Name:        "branchy",
+		Description: "short ALU ops under frequent hard-to-predict branches",
+		footprint:   8 * kib,
+		body: []op{
+			{cls: isa.OpIntAlu, dest: r1, srcs: reg(r1)},
+			{cls: isa.OpBranch, dest: isa.RegInvalid, srcs: reg(r1), taken: withProb(0.2, 0x31), skip: 3},
+			{cls: isa.OpIntAlu, dest: r2, srcs: reg(r1)},
+			{cls: isa.OpIntAlu, dest: r3, srcs: reg(r2)},
+			{cls: isa.OpIntAlu, dest: r4, srcs: reg(r3)},
+			{cls: isa.OpIntAlu, dest: r5, srcs: reg(r1)},
+			{cls: isa.OpBranch, dest: isa.RegInvalid, srcs: reg(r5), taken: withProb(0.1, 0x32), skip: 1},
+			{cls: isa.OpIntAlu, dest: r6, srcs: reg(r5)},
+		},
+	},
+	{
+		Name:        "gups",
+		Description: "random read-modify-write over a DRAM-sized table",
+		footprint:   8 * mib,
+		body: []op{
+			{cls: isa.OpIntAlu, dest: r1, srcs: reg(r1)},
+			{cls: isa.OpIntAlu, dest: r4, srcs: reg(r1)},
+			{cls: isa.OpIntAlu, dest: r5, srcs: reg(r4)},
+			{cls: isa.OpLoad, dest: r2, srcs: reg(r5), addr: random(0x41)},
+			{cls: isa.OpIntAlu, dest: r3, srcs: reg(r2)},
+			{cls: isa.OpIntAlu, dest: r6, srcs: reg(r5)},
+			{cls: isa.OpStore, srcs: reg(r3, r6), dest: isa.RegInvalid, addr: random(0x41)},
+		},
+	},
+	{
+		Name:        "reduce",
+		Description: "two-accumulator reduction over an L2-resident array",
+		footprint:   256 * kib,
+		body: []op{
+			{cls: isa.OpIntAlu, dest: r1, srcs: reg(r9)},
+			{cls: isa.OpLoad, dest: f1, srcs: reg(r1), addr: seq(0, 16)},
+			{cls: isa.OpIntAlu, dest: r2, srcs: reg(r1)},
+			{cls: isa.OpLoad, dest: f2, srcs: reg(r2), addr: seq(8, 16)},
+			{cls: isa.OpFPAdd, dest: f3, srcs: reg(f3, f1)},
+			{cls: isa.OpIntAlu, dest: r3, srcs: reg(r2)},
+			{cls: isa.OpFPAdd, dest: f4, srcs: reg(f4, f2)},
+			{cls: isa.OpFPMult, dest: f5, srcs: reg(f5, f0)},
+			{cls: isa.OpIntAlu, dest: r9, srcs: reg(r9)},
+		},
+	},
+	{
+		Name:        "ilpmax",
+		Description: "eight independent chains of mixed latency, no memory",
+		footprint:   4 * kib,
+		body: []op{
+			{cls: isa.OpIntAlu, dest: r1, srcs: reg(r1)},
+			{cls: isa.OpIntMult, dest: r2, srcs: reg(r2)},
+			{cls: isa.OpIntAlu, dest: r3, srcs: reg(r3)},
+			{cls: isa.OpFPAdd, dest: f1, srcs: reg(f1)},
+			{cls: isa.OpIntAlu, dest: r4, srcs: reg(r4)},
+			{cls: isa.OpIntMult, dest: r5, srcs: reg(r5)},
+			{cls: isa.OpFPAdd, dest: f2, srcs: reg(f2)},
+			{cls: isa.OpIntAlu, dest: r6, srcs: reg(r6)},
+		},
+	},
+	{
+		Name:        "fpdense",
+		Description: "long-latency FP chains interleaved with fast ALU chains",
+		footprint:   4 * kib,
+		body: []op{
+			{cls: isa.OpFPMult, dest: f1, srcs: reg(f1, f0)},
+			{cls: isa.OpIntAlu, dest: r1, srcs: reg(r1)},
+			{cls: isa.OpFPMult, dest: f2, srcs: reg(f2, f0)},
+			{cls: isa.OpIntAlu, dest: r2, srcs: reg(r2)},
+			{cls: isa.OpFPAdd, dest: f3, srcs: reg(f3, f1)},
+			{cls: isa.OpIntAlu, dest: r3, srcs: reg(r1)},
+			{cls: isa.OpFPAdd, dest: f4, srcs: reg(f4, f2)},
+			{cls: isa.OpIntAlu, dest: r4, srcs: reg(r2)},
+		},
+	},
+	{
+		Name:        "callret",
+		Description: "call/return-like pattern with stack spills",
+		footprint:   8 * kib,
+		body: []op{
+			{cls: isa.OpStore, srcs: reg(r1, r10), dest: isa.RegInvalid,
+				addr: func(it int64, _ *rng) uint64 { return uint64(it%128) * 8 }},
+			{cls: isa.OpBranch, dest: isa.RegInvalid, srcs: reg(), taken: withProb(1.0, 0x51), skip: 0},
+			{cls: isa.OpIntAlu, dest: r2, srcs: reg(r1)},
+			{cls: isa.OpIntMult, dest: r3, srcs: reg(r2)},
+			{cls: isa.OpIntAlu, dest: r1, srcs: reg(r3)},
+			{cls: isa.OpLoad, dest: r4, srcs: reg(r10),
+				addr: func(it int64, _ *rng) uint64 { return uint64(it%128) * 8 }},
+			{cls: isa.OpBranch, dest: isa.RegInvalid, srcs: reg(), taken: withProb(1.0, 0x52), skip: 0},
+		},
+	},
+	{
+		Name:        "sortish",
+		Description: "compare/branch/swap over an L2-resident array",
+		footprint:   128 * kib,
+		body: []op{
+			{cls: isa.OpIntAlu, dest: r4, srcs: reg(r9)},
+			{cls: isa.OpLoad, dest: r1, srcs: reg(r4), addr: seq(0, 8)},
+			{cls: isa.OpIntAlu, dest: r5, srcs: reg(r4)},
+			{cls: isa.OpLoad, dest: r2, srcs: reg(r5), addr: seq(64*kib, 8)},
+			{cls: isa.OpIntAlu, dest: r3, srcs: reg(r1, r2)},
+			{cls: isa.OpBranch, dest: isa.RegInvalid, srcs: reg(r3), taken: withProb(0.25, 0x61), skip: 2},
+			{cls: isa.OpStore, srcs: reg(r2, r4), dest: isa.RegInvalid, addr: seq(0, 8)},
+			{cls: isa.OpStore, srcs: reg(r1, r5), dest: isa.RegInvalid, addr: seq(64*kib, 8)},
+			{cls: isa.OpIntAlu, dest: r9, srcs: reg(r9)},
+		},
+	},
+	{
+		Name:        "prodcons",
+		Description: "store-to-load forwarding through a small ring buffer",
+		footprint:   4 * kib,
+		body: []op{
+			{cls: isa.OpIntMult, dest: r3, srcs: reg(r3)},
+			{cls: isa.OpStore, srcs: reg(r3, r10), dest: isa.RegInvalid,
+				addr: func(it int64, _ *rng) uint64 { return uint64(it%64) * 8 }},
+			{cls: isa.OpIntAlu, dest: r5, srcs: reg(r5)},
+			{cls: isa.OpIntAlu, dest: r7, srcs: reg(r7)},
+			{cls: isa.OpLoad, dest: r4, srcs: reg(r10),
+				addr: func(it int64, _ *rng) uint64 { return uint64((it+63)%64) * 8 }},
+			{cls: isa.OpIntAlu, dest: r8, srcs: reg(r8)},
+			{cls: isa.OpIntAlu, dest: r6, srcs: reg(r4)},
+		},
+	},
+	{
+		Name:        "loopcarry",
+		Description: "serial integer-multiply recurrence beside independent FP work",
+		footprint:   32 * kib,
+		body: []op{
+			{cls: isa.OpIntMult, dest: r1, srcs: reg(r1, r2)},
+			{cls: isa.OpIntAlu, dest: r3, srcs: reg(r1)},
+			{cls: isa.OpLoad, dest: r4, srcs: reg(r3), addr: random(0x71)},
+			{cls: isa.OpIntAlu, dest: r2, srcs: reg(r4)},
+			{cls: isa.OpFPMult, dest: f1, srcs: reg(f1, f0)},
+			{cls: isa.OpFPAdd, dest: f2, srcs: reg(f2, f1)},
+		},
+	},
+}
+
+// Kernels returns the full benchmark suite in canonical order. The returned
+// slice is shared; callers must not modify it.
+func Kernels() []*Kernel { return kernels }
+
+// ByName looks a kernel up by its benchmark name.
+func ByName(name string) (*Kernel, error) {
+	for _, k := range kernels {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown kernel %q", name)
+}
+
+// Names returns the kernel names in canonical order.
+func Names() []string {
+	out := make([]string, len(kernels))
+	for i, k := range kernels {
+		out[i] = k.Name
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package workload
+
+// rng is a splitmix64-based deterministic pseudo-random generator. Workload
+// generation must be reproducible across runs and platforms, so we avoid
+// math/rand and own the algorithm.
+type rng struct{ state uint64 }
+
+// newRNG seeds a generator; a zero seed is remapped to a fixed constant so
+// the state never sticks at zero.
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{state: seed}
+}
+
+// next returns the next 64-bit value.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// hashString folds a string into a 64-bit seed (FNV-1a).
+func hashString(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

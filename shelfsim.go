@@ -1,0 +1,185 @@
+// Package shelfsim is the public API of the shelf reproduction: it wires
+// workload kernels to the hybrid OOO/in-order SMT core and runs timing
+// simulations, exposing the paper's configurations (Table I), steering
+// policies (§IV) and measurement machinery (STP, EDP, in-sequence
+// statistics).
+//
+// Quick start:
+//
+//	cfg := shelfsim.Shelf64(4, true) // 4-thread base64 + 64-entry shelf
+//	res, err := shelfsim.RunKernels(cfg, []string{"stream", "ptrchase", "branchy", "matblock"}, 100_000)
+//
+// See examples/ for complete programs and cmd/experiments for the
+// harness that regenerates every figure and table in the paper.
+package shelfsim
+
+import (
+	"fmt"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/core"
+	"shelfsim/internal/isa"
+	"shelfsim/internal/workload"
+)
+
+// Inst is one dynamic micro-op of a workload stream.
+type Inst = isa.Inst
+
+// Stream supplies a thread's dynamic instruction stream; implement it to
+// drive the simulator from custom workloads or recorded traces.
+type Stream = isa.Stream
+
+// Config is the full simulator configuration; use the preset constructors
+// and adjust fields as needed.
+type Config = config.Config
+
+// SteerKind selects a dispatch steering policy.
+type SteerKind = config.SteerKind
+
+// Steering policies (§IV).
+const (
+	SteerAllIQ     = config.SteerAllIQ
+	SteerAllShelf  = config.SteerAllShelf
+	SteerOracle    = config.SteerOracle
+	SteerPractical = config.SteerPractical
+	SteerCoarse    = config.SteerCoarse
+)
+
+// Result is a completed run's summary; Threads holds per-thread outcomes.
+type Result = core.Result
+
+// ThreadResult summarizes one thread of a run.
+type ThreadResult = core.ThreadResult
+
+// Kernel is a synthetic benchmark program.
+type Kernel = workload.Kernel
+
+// Mix is a multiprogrammed workload (one kernel per thread).
+type Mix = workload.Mix
+
+// Base64 returns the paper's baseline core: 64-entry ROB, 32-entry
+// IQ/LQ/SQ, no shelf.
+func Base64(threads int) Config { return config.Base64(threads) }
+
+// Base128 returns the doubled core: the paper's upper bound.
+func Base128(threads int) Config { return config.Base128(threads) }
+
+// Shelf64 returns Base64 plus a 64-entry shelf with practical steering;
+// optimistic selects the §III-A same-cycle-issue assumption.
+func Shelf64(threads int, optimistic bool) Config {
+	return config.Shelf64(threads, optimistic)
+}
+
+// Coarse64 returns the MorphCore-style coarse-grain switching comparison
+// point: whole threads flip between OOO and in-order modes every interval
+// retired instructions.
+func Coarse64(threads int, interval int64) Config {
+	return config.Coarse64(threads, interval)
+}
+
+// Kernels returns the benchmark suite in canonical order.
+func Kernels() []*Kernel { return workload.Kernels() }
+
+// KernelByName resolves a benchmark name.
+func KernelByName(name string) (*Kernel, error) { return workload.ByName(name) }
+
+// PaperMixes returns the 28 balanced-random mixes used by the evaluation.
+func PaperMixes(threads int) []Mix { return workload.PaperMixes(threads) }
+
+// threadAddressStride separates per-thread data regions (threads in a
+// multiprogrammed mix occupy disjoint address spaces).
+const threadAddressStride = 1 << 32
+
+// DefaultMaxCyclesPerInst bounds runaway simulations: a run aborts after
+// this many cycles per requested instruction.
+const DefaultMaxCyclesPerInst = 64
+
+// RunMix simulates cfg over one kernel per thread for instsPerThread
+// retired instructions each, after a warmup of instsPerThread/2 (caches
+// and predictors train before measurement, as the paper's SimPoint warmup
+// does). Use RunMixWarm for explicit control.
+func RunMix(cfg Config, kernels []*Kernel, instsPerThread int64) (Result, error) {
+	return RunMixWarm(cfg, kernels, instsPerThread/2, instsPerThread)
+}
+
+// RunMixWarm simulates cfg over one kernel per thread: warmup retired
+// instructions of cache/predictor training followed by a measured window
+// of instsPerThread retired instructions.
+func RunMixWarm(cfg Config, kernels []*Kernel, warmup, instsPerThread int64) (Result, error) {
+	if len(kernels) != cfg.Threads {
+		return Result{}, fmt.Errorf("shelfsim: %d kernels for %d threads", len(kernels), cfg.Threads)
+	}
+	if instsPerThread <= 0 {
+		return Result{}, fmt.Errorf("shelfsim: non-positive instruction count %d", instsPerThread)
+	}
+	streams := make([]isa.Stream, len(kernels))
+	for i, k := range kernels {
+		if k == nil {
+			return Result{}, fmt.Errorf("shelfsim: nil kernel for thread %d", i)
+		}
+		base := uint64(i+1) * threadAddressStride
+		// Streams are unbounded; the core ends each thread's measurement
+		// window at the retire target while the thread keeps contending.
+		streams[i] = k.NewStream(base, uint64(i)*0x9e37+1, -1)
+	}
+	c, err := core.New(cfg, streams)
+	if err != nil {
+		return Result{}, err
+	}
+	if warmup < 0 {
+		return Result{}, fmt.Errorf("shelfsim: negative warmup %d", warmup)
+	}
+	c.SetRetireTargets(warmup, instsPerThread)
+	maxCycles := (warmup + instsPerThread) * int64(cfg.Threads) * DefaultMaxCyclesPerInst
+	if _, finished := c.Run(maxCycles); !finished {
+		return c.Result(), fmt.Errorf("shelfsim: %s did not finish within %d cycles (possible deadlock)",
+			cfg.Name, maxCycles)
+	}
+	return c.Result(), nil
+}
+
+// RunKernels is RunMix with kernels given by name.
+func RunKernels(cfg Config, names []string, instsPerThread int64) (Result, error) {
+	ks := make([]*Kernel, len(names))
+	for i, n := range names {
+		k, err := workload.ByName(n)
+		if err != nil {
+			return Result{}, err
+		}
+		ks[i] = k
+	}
+	return RunMix(cfg, ks, instsPerThread)
+}
+
+// RunSingle simulates one kernel alone on a single-threaded variant of cfg
+// (full, unpartitioned resources), the normalization point for STP.
+func RunSingle(cfg Config, k *Kernel, insts int64) (Result, error) {
+	single := cfg
+	single.Threads = 1
+	single.Name = cfg.Name + "-1t"
+	return RunMix(single, []*Kernel{k}, insts)
+}
+
+// RunStreams simulates cfg over caller-provided instruction streams (one
+// per thread) — custom workloads or recorded traces. Streams must be
+// bounded or the retire targets must be reachable; each thread's
+// measurement covers `insts` retired instructions after `warmup`.
+func RunStreams(cfg Config, streams []Stream, warmup, insts int64) (Result, error) {
+	if len(streams) != cfg.Threads {
+		return Result{}, fmt.Errorf("shelfsim: %d streams for %d threads", len(streams), cfg.Threads)
+	}
+	if insts <= 0 || warmup < 0 {
+		return Result{}, fmt.Errorf("shelfsim: bad window warmup=%d insts=%d", warmup, insts)
+	}
+	c, err := core.New(cfg, streams)
+	if err != nil {
+		return Result{}, err
+	}
+	c.SetRetireTargets(warmup, insts)
+	maxCycles := (warmup + insts) * int64(cfg.Threads) * DefaultMaxCyclesPerInst
+	if _, finished := c.Run(maxCycles); !finished {
+		return c.Result(), fmt.Errorf("shelfsim: %s did not finish within %d cycles",
+			cfg.Name, maxCycles)
+	}
+	return c.Result(), nil
+}

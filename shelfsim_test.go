@@ -1,0 +1,97 @@
+package shelfsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunKernelsQuick(t *testing.T) {
+	cfg := Shelf64(2, true)
+	res, err := RunMixWarm(cfg, mustKernels(t, "matblock", "branchy"), 200, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Threads) != 2 {
+		t.Fatalf("threads: %d", len(res.Threads))
+	}
+	for i, tr := range res.Threads {
+		if tr.Retired != 500 || tr.CPI <= 0 {
+			t.Errorf("thread %d: %+v", i, tr)
+		}
+	}
+	if res.Stats.ShelfIssues == 0 {
+		t.Error("practical steering should use the shelf")
+	}
+}
+
+func TestRunKernelsByName(t *testing.T) {
+	res, err := RunKernels(Base64(2), []string{"ilpmax", "fpdense"}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != "base64" {
+		t.Errorf("config = %q", res.Config)
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	k, err := KernelByName("matblock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSingle(Base64(4), k, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Threads) != 1 {
+		t.Fatalf("single run has %d threads", len(res.Threads))
+	}
+	if !strings.HasSuffix(res.Config, "-1t") {
+		t.Errorf("config name %q", res.Config)
+	}
+}
+
+func TestRunMixErrors(t *testing.T) {
+	if _, err := RunKernels(Base64(2), []string{"matblock"}, 100); err == nil {
+		t.Error("kernel count mismatch accepted")
+	}
+	if _, err := RunKernels(Base64(1), []string{"nope"}, 100); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := RunKernels(Base64(1), []string{"matblock"}, 0); err == nil {
+		t.Error("zero instruction budget accepted")
+	}
+	if _, err := RunMixWarm(Base64(1), mustKernels(t, "matblock"), -1, 100); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	if _, err := RunMix(Base64(1), []*Kernel{nil}, 100); err == nil {
+		t.Error("nil kernel accepted")
+	}
+}
+
+func TestPresetAccessors(t *testing.T) {
+	if len(Kernels()) < 10 {
+		t.Error("kernel suite missing")
+	}
+	if len(PaperMixes(4)) != 28 {
+		t.Error("paper mixes missing")
+	}
+	for _, cfg := range []Config{Base64(4), Base128(4), Shelf64(4, true), Shelf64(4, false)} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func mustKernels(t *testing.T, names ...string) []*Kernel {
+	t.Helper()
+	out := make([]*Kernel, len(names))
+	for i, n := range names {
+		k, err := KernelByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = k
+	}
+	return out
+}
