@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,18 +18,43 @@ import (
 	"shelfsim/internal/config"
 	"shelfsim/internal/harness"
 	"shelfsim/internal/metrics"
+	"shelfsim/internal/runner"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1,fig2,table1,fig10,fig11,fig12,fig13,table2,fig14,all")
-		insts  = flag.Int64("insts", 8000, "measured instructions per thread")
-		mixes  = flag.Int("mixes", 28, "number of balanced-random mixes (max 28)")
-		thread = flag.Int("threads", 4, "thread count for the main experiments")
+		exp      = flag.String("exp", "all", "experiment: fig1,fig2,table1,fig10,fig11,fig12,fig13,table2,fig14,all")
+		insts    = flag.Int64("insts", 8000, "measured instructions per thread")
+		mixes    = flag.Int("mixes", 28, "number of balanced-random mixes (max 28)")
+		thread   = flag.Int("threads", 4, "thread count for the main experiments")
+		workers  = flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+		check    = flag.Bool("check", false, "enable the per-cycle microarchitectural invariant checker")
+		faultCfg = flag.String("faultconfig", "", "inject an invariant violation into runs of this config name (test hook)")
+		faultMix = flag.String("faultmix", "", "confine -faultconfig's fault to this mix name (empty = every mix)")
+		faultCyc = flag.Int64("faultcycle", 1000, "cycle at which -faultconfig's fault fires")
 	)
 	flag.Parse()
 
 	h := harness.New(*insts, *mixes)
+	h.Runner.Workers = *workers
+	h.CheckInvariants = *check
+	h.FaultConfig = *faultCfg
+	h.FaultMix = *faultMix
+	h.FaultCycle = *faultCyc
+
+	// Warm the run cache in parallel on the worker pool: the four main
+	// configurations dominate the figures, and supervised failures here are
+	// recorded rather than fatal.
+	h.Prewarm(context.Background(), []config.Config{
+		config.Base64(*thread),
+		config.Shelf64(*thread, false),
+		config.Shelf64(*thread, true),
+		config.Base128(*thread),
+	}, h.Mixes(*thread))
+
+	// An experiment error no longer aborts the program: the remaining
+	// experiments still run and the failure manifest is emitted at the end.
+	hardErrors := 0
 	run := func(name string, f func(*harness.Harness, int) error) {
 		if *exp != "all" && *exp != name {
 			return
@@ -36,7 +62,7 @@ func main() {
 		fmt.Printf("==== %s ====\n", name)
 		if err := f(h, *thread); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			hardErrors++
 		}
 		fmt.Println()
 	}
@@ -50,6 +76,17 @@ func main() {
 	run("fig13", fig13)
 	run("table2", table2)
 	run("fig14", fig14)
+
+	if failures := h.Failures(); len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d supervised run(s) failed; manifest:\n", len(failures))
+		m := runner.NewManifest(h.Runs()+len(failures), failures)
+		if err := m.WriteJSON(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing manifest: %v\n", err)
+		}
+	}
+	if hardErrors > 0 {
+		os.Exit(1)
+	}
 }
 
 func table1(_ *harness.Harness, threads int) error {

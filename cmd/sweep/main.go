@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,15 +18,18 @@ import (
 	"shelfsim/internal/config"
 	"shelfsim/internal/harness"
 	"shelfsim/internal/metrics"
+	"shelfsim/internal/runner"
 )
 
 func main() {
 	var (
-		param  = flag.String("param", "shelf", "shelf, rob, iq, rctbits, plt, interval")
-		values = flag.String("values", "", "comma-separated parameter values")
-		mixes  = flag.Int("mixes", 8, "number of balanced-random mixes")
-		insts  = flag.Int64("insts", 4000, "measured instructions per thread")
-		thread = flag.Int("threads", 4, "SMT thread count")
+		param   = flag.String("param", "shelf", "shelf, rob, iq, rctbits, plt, interval")
+		values  = flag.String("values", "", "comma-separated parameter values")
+		mixes   = flag.Int("mixes", 8, "number of balanced-random mixes")
+		insts   = flag.Int64("insts", 4000, "measured instructions per thread")
+		thread  = flag.Int("threads", 4, "SMT thread count")
+		workers = flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+		check   = flag.Bool("check", false, "enable the per-cycle microarchitectural invariant checker")
 	)
 	flag.Parse()
 
@@ -35,6 +39,8 @@ func main() {
 	}
 
 	h := harness.New(*insts, *mixes)
+	h.Runner.Workers = *workers
+	h.CheckInvariants = *check
 	base := config.Base64(*thread)
 
 	fmt.Println("param,value,geomean_stp,geomean_stp_improvement,geomean_ipc,shelved_frac")
@@ -43,30 +49,38 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		// Fill the cache for this point in parallel; per-mix failures are
+		// recorded in the manifest and the point degrades to fewer mixes.
+		h.Prewarm(context.Background(), []config.Config{cfg, base}, h.Mixes(*thread))
+
 		var stps, baseSTPs, ipcs []float64
 		var shelfIssues, issues int64
 		for _, mix := range h.Mixes(*thread) {
 			res, err := h.Run(cfg, mix)
-			if err != nil {
-				fatalf("%s=%d on %s: %v", *param, v, mix.Name(), err)
+			if skipMix(err, *param, v, mix.Name()) {
+				continue
 			}
 			stp, err := h.STP(mix, res)
-			if err != nil {
-				fatalf("%v", err)
+			if skipMix(err, *param, v, mix.Name()) {
+				continue
 			}
 			rb, err := h.Run(base, mix)
-			if err != nil {
-				fatalf("%v", err)
+			if skipMix(err, *param, v, mix.Name()) {
+				continue
 			}
 			bstp, err := h.STP(mix, rb)
-			if err != nil {
-				fatalf("%v", err)
+			if skipMix(err, *param, v, mix.Name()) {
+				continue
 			}
 			stps = append(stps, stp)
 			baseSTPs = append(baseSTPs, stp/bstp)
 			ipcs = append(ipcs, res.Stats.IPC())
 			shelfIssues += res.Stats.ShelfIssues
 			issues += res.Stats.Issues
+		}
+		if len(stps) == 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %s=%d: every mix failed, omitting row\n", *param, v)
+			continue
 		}
 		gmSTP, _ := metrics.GeoMean(stps)
 		gmImp, _ := metrics.GeoMean(baseSTPs)
@@ -77,6 +91,28 @@ func main() {
 		}
 		fmt.Printf("%s,%d,%.4f,%.4f,%.4f,%.4f\n", *param, v, gmSTP, gmImp-1, gmIPC, shelved)
 	}
+
+	if failures := h.Failures(); len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d supervised run(s) failed; manifest:\n", len(failures))
+		m := runner.NewManifest(h.Runs()+len(failures), failures)
+		if err := m.WriteJSON(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: writing manifest: %v\n", err)
+		}
+	}
+}
+
+// skipMix reports whether err is a recorded supervised failure (skip the
+// mix, warn) as opposed to nil (false) or a hard error (fatal).
+func skipMix(err error, param string, v int64, mix string) bool {
+	if err == nil {
+		return false
+	}
+	if harness.Skippable(err) {
+		fmt.Fprintf(os.Stderr, "sweep: skipping %s=%d on %s: %v\n", param, v, mix, err)
+		return true
+	}
+	fatalf("%s=%d on %s: %v", param, v, mix, err)
+	return false
 }
 
 // configure builds the swept configuration for one parameter value.

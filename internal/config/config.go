@@ -6,6 +6,7 @@ package config
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"shelfsim/internal/branch"
 	"shelfsim/internal/mem"
@@ -124,6 +125,18 @@ type Config struct {
 	Branch    branch.Config
 	StoreSets storesets.Config
 
+	// CheckInvariants enables the core's per-cycle invariant checker
+	// (free-list conservation, ROB/shelf program order, issue-tracking
+	// bitvector consistency, SSR bounds, doubled shelf-index disjointness,
+	// LQ/SQ age ordering). A violation aborts the run with a typed
+	// core.InvariantError that supervised runners convert into a
+	// structured failure. Costs roughly 2-3x simulation time.
+	CheckInvariants bool
+	// InjectFaultCycle, when positive, deliberately corrupts the window at
+	// that cycle (robustness test hook): supervised sweeps use it to prove
+	// fault recovery without crashing the process. 0 disables injection.
+	InjectFaultCycle int64
+
 	// Name labels the configuration in reports.
 	Name string
 }
@@ -163,6 +176,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: coarse steering needs a positive interval, got %d", c.CoarseInterval)
 	case c.IntALUs <= 0 || c.IntMultDiv <= 0 || c.FPUnits <= 0 || c.MemPorts <= 0:
 		return fmt.Errorf("config: all functional unit counts must be positive")
+	case c.InjectFaultCycle < 0:
+		return fmt.Errorf("config: negative fault-injection cycle %d", c.InjectFaultCycle)
 	}
 	if err := c.Branch.Validate(); err != nil {
 		return err
@@ -176,6 +191,15 @@ func (c *Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a stable hash of every configuration field. Run
+// caches must key on it rather than on Name: two configurations sharing a
+// name but differing in any field would otherwise silently alias results.
+func (c *Config) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", *c)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // ROBPerThread returns the per-thread ROB partition size.

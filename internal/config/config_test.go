@@ -102,3 +102,39 @@ func TestSteerKindString(t *testing.T) {
 		t.Error("unknown kind should still render")
 	}
 }
+
+func TestFingerprint(t *testing.T) {
+	a := Shelf64(4, true)
+	b := Shelf64(4, true)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical configs must share a fingerprint")
+	}
+	// Same Name, different substance: the fingerprint must differ. This is
+	// the aliasing the harness cache used to suffer when keying on Name.
+	mutations := []func(*Config){
+		func(c *Config) { c.ROB = 128 },
+		func(c *Config) { c.Steer = SteerAllShelf },
+		func(c *Config) { c.SingleSSR = true },
+		func(c *Config) { c.CheckInvariants = true },
+		func(c *Config) { c.Mem.L1D.Ways *= 2 },
+		func(c *Config) { c.InjectFaultCycle = 99 },
+	}
+	for i, mutate := range mutations {
+		m := Shelf64(4, true)
+		mutate(&m)
+		if m.Fingerprint() == a.Fingerprint() {
+			t.Errorf("mutation %d not reflected in fingerprint", i)
+		}
+	}
+	if got := a.Fingerprint(); len(got) != 16 {
+		t.Errorf("fingerprint %q is not 16 hex digits", got)
+	}
+}
+
+func TestValidateRejectsNegativeFaultCycle(t *testing.T) {
+	cfg := Base64(1)
+	cfg.InjectFaultCycle = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative InjectFaultCycle accepted")
+	}
+}

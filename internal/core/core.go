@@ -48,6 +48,10 @@ type Core struct {
 	// fetchRR breaks ICOUNT ties round-robin.
 	fetchRR int
 
+	// retireObs, when non-nil, observes every instruction at the moment it
+	// fully retires in program order (see SetRetireObserver).
+	retireObs func(tid int, seq int64)
+
 	stats Stats
 }
 
@@ -190,7 +194,24 @@ func (c *Core) Step() {
 	c.fetch(now)
 
 	c.accumulateOccupancy()
+
+	// Fault injection (robustness test hook): deliberately corrupt the
+	// window at the configured cycle so supervised runners can prove they
+	// convert invariant trips into structured failures. The corruption is
+	// always checked immediately, even when per-cycle checking is off.
+	if c.cfg.InjectFaultCycle > 0 && now == c.cfg.InjectFaultCycle {
+		c.injectFault()
+		c.checkInvariants()
+	}
+	if c.cfg.CheckInvariants {
+		c.checkInvariants()
+	}
 }
+
+// SetRetireObserver installs a callback invoked once per instruction as it
+// fully retires, in program order per thread. Differential validation uses
+// it to compare retired-instruction streams across configurations.
+func (c *Core) SetRetireObserver(fn func(tid int, seq int64)) { c.retireObs = fn }
 
 // Run steps the core until every thread finishes or maxCycles elapses; it
 // returns the number of cycles executed and whether all threads finished.

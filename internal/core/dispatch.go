@@ -101,13 +101,13 @@ func (c *Core) rename(t *thread, u *uop) {
 		u.destPRI = u.prevPRI // overwrite in place (§III-C)
 		u.destTag = c.allocExtTag()
 		if u.destTag < 0 {
-			panic("core: extension free list empty after structural check")
+			c.fail(t.id, "ext-freelist", "extension free list empty after structural check")
 		}
 		t.ratTag[d] = u.destTag
 	} else {
 		p := c.allocPRI()
 		if p < 0 {
-			panic("core: physical free list empty after structural check")
+			c.fail(t.id, "pri-freelist", "physical free list empty after structural check")
 		}
 		u.destPRI = p
 		u.destTag = p

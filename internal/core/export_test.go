@@ -1,86 +1,10 @@
 package core
 
-import (
-	"fmt"
+import "shelfsim/internal/isa"
 
-	"shelfsim/internal/isa"
-)
-
-// Test-only accessors and invariant checks. Keeping them in an _test file
-// means the production binary carries none of this.
-
-// CheckInvariants validates the window's structural invariants; tests call
-// it periodically while stepping.
-func (c *Core) CheckInvariants() error {
-	if len(c.iq) > c.cfg.IQ {
-		return fmt.Errorf("IQ over capacity: %d > %d", len(c.iq), c.cfg.IQ)
-	}
-	for _, u := range c.iq {
-		if u.state != stateDispatched {
-			return fmt.Errorf("IQ entry in state %v", u.state)
-		}
-		if u.toShelf {
-			return fmt.Errorf("shelf op found in IQ")
-		}
-	}
-	if len(c.freePRI) > c.cfg.PRF {
-		return fmt.Errorf("physical free list overfull: %d > %d", len(c.freePRI), c.cfg.PRF)
-	}
-	if len(c.freeExt) > c.extSize {
-		return fmt.Errorf("extension free list overfull: %d > %d", len(c.freeExt), c.extSize)
-	}
-	for _, t := range c.threads {
-		if err := c.checkThread(t); err != nil {
-			return fmt.Errorf("thread %d: %w", t.id, err)
-		}
-	}
-	return nil
-}
-
-func (c *Core) checkThread(t *thread) error {
-	if t.robHead > t.robAllocPos {
-		return fmt.Errorf("ROB head %d past alloc %d", t.robHead, t.robAllocPos)
-	}
-	if t.robAllocPos-t.robHead > int64(t.robCap) {
-		return fmt.Errorf("ROB over capacity")
-	}
-	if t.itHead > t.robAllocPos {
-		return fmt.Errorf("issue-tracking head %d past alloc %d", t.itHead, t.robAllocPos)
-	}
-	if t.shelfCap > 0 {
-		if t.shelfHead > t.shelfTail {
-			return fmt.Errorf("shelf head %d past tail %d", t.shelfHead, t.shelfTail)
-		}
-		if t.shelfTail-t.shelfHead > int64(t.shelfCap) {
-			return fmt.Errorf("shelf over capacity")
-		}
-		if t.shelfRetire > t.shelfTail {
-			return fmt.Errorf("shelf retire pointer %d past tail %d", t.shelfRetire, t.shelfTail)
-		}
-	}
-	if len(t.lq) > t.lqCap || len(t.sq) > t.sqCap {
-		return fmt.Errorf("LSQ over capacity: lq=%d sq=%d", len(t.lq), len(t.sq))
-	}
-	var prevSeq int64 = -1
-	for _, u := range t.inflight {
-		if u.seq <= prevSeq {
-			return fmt.Errorf("inflight not in program order at seq %d", u.seq)
-		}
-		prevSeq = u.seq
-		if u.state == stateFetched || u.state == stateSquashed {
-			return fmt.Errorf("inflight op in state %v", u.state)
-		}
-	}
-	for r := 0; r < isa.NumArchRegs; r++ {
-		if t.ratPRI[r] < 0 || int(t.ratPRI[r]) >= c.numPRIs {
-			return fmt.Errorf("RAT PRI out of range for r%d: %d", r, t.ratPRI[r])
-		}
-		if t.ratTag[r] < 0 || int(t.ratTag[r]) >= c.numPRIs+c.extSize {
-			return fmt.Errorf("RAT tag out of range for r%d: %d", r, t.ratTag[r])
-		}
-	}
-	return nil
-}
+// Test-only accessors. Keeping them in an _test file means the production
+// binary carries none of this. (The invariant checker itself lives in
+// invariants.go: it is production code, gated by Config.CheckInvariants.)
 
 // FreeListSizes reports the current free-list populations (tests verify
 // full restoration after a drained run).

@@ -1,6 +1,10 @@
 package core
 
-import "shelfsim/internal/isa"
+import (
+	"fmt"
+
+	"shelfsim/internal/isa"
+)
 
 // fetch models the SMT front end: each cycle one thread is selected by the
 // ICOUNT policy (fewest instructions in the front end plus window, ties
@@ -122,7 +126,9 @@ func (t *thread) peekInst(seq int64) (isa.Inst, bool) {
 	}
 	i := seq - t.replayBase
 	if i < 0 || i >= int64(len(t.replay)) {
-		panic("core: replay buffer does not cover requested sequence")
+		panic(&InvariantError{Check: "replay-range", Cycle: -1, Thread: t.id,
+			Detail: fmt.Sprintf("replay buffer [%d,%d) does not cover sequence %d",
+				t.replayBase, t.replayBase+int64(len(t.replay)), seq)})
 	}
 	return t.replay[i].inst, true
 }

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+
+	"shelfsim/internal/isa"
+)
+
+// InvariantError reports a violated microarchitectural invariant. The
+// pipeline panics with a value of this type (instead of a bare string) so
+// a supervising runner can recover it and attribute the failure to a
+// configuration, cycle and thread; the per-cycle checker enabled by
+// Config.CheckInvariants produces the same type.
+type InvariantError struct {
+	// Check is a short stable identifier of the violated invariant
+	// (e.g. "rob-order", "iq-missing", "freelist-conservation").
+	Check string
+	// Cycle is the simulation cycle at which the violation was detected
+	// (-1 when unknown, e.g. outside the stepped pipeline).
+	Cycle int64
+	// Thread is the offending hardware thread, or -1 for core-wide state.
+	Thread int
+	// Detail describes the violation.
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("core: invariant %s violated (cycle %d, thread %d): %s",
+		e.Check, e.Cycle, e.Thread, e.Detail)
+}
+
+// fail panics with a typed InvariantError carrying core context. It is the
+// replacement for the pipeline's bare panic calls.
+func (c *Core) fail(thread int, check, format string, args ...any) {
+	panic(&InvariantError{
+		Check:  check,
+		Cycle:  c.cycle,
+		Thread: thread,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// maxSSRDepth bounds the speculation shift registers: a resolution delay
+// beyond this is certainly corrupted state (the deepest legitimate delay is
+// one full memory access plus pipeline latencies).
+const maxSSRDepth = 1 << 20
+
+// checkInvariants runs the per-cycle checker and converts a violation into
+// an InvariantError panic, routing it through the same supervised path as
+// the pipeline's own assertions.
+func (c *Core) checkInvariants() {
+	if err := c.CheckInvariants(); err != nil {
+		panic(err)
+	}
+}
+
+// injectFault deliberately corrupts thread 0's ROB head pointer. It is the
+// fault-injection test hook behind Config.InjectFaultCycle, used to prove
+// that a sweep survives an invariant trip with a structured failure instead
+// of a crash.
+func (c *Core) injectFault() {
+	t := c.threads[0]
+	t.robHead = t.robAllocPos + 1
+}
+
+// CheckInvariants validates the window's structural invariants and returns
+// a typed *InvariantError describing the first violation found, or nil.
+// With Config.CheckInvariants set it runs automatically after every cycle;
+// tests and external tooling may also call it directly.
+func (c *Core) CheckInvariants() error {
+	if err := c.checkShared(); err != nil {
+		return err
+	}
+	for _, t := range c.threads {
+		if err := c.checkThread(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// inv builds (but does not panic with) an InvariantError at the current
+// cycle.
+func (c *Core) inv(thread int, check, format string, args ...any) *InvariantError {
+	return &InvariantError{
+		Check:  check,
+		Cycle:  c.cycle,
+		Thread: thread,
+		Detail: fmt.Sprintf(format, args...),
+	}
+}
+
+// checkShared validates the shared structures: the issue queue and the
+// free lists (conservation: correct ranges, no duplicates, and no register
+// that is simultaneously free and architecturally mapped).
+func (c *Core) checkShared() *InvariantError {
+	if len(c.iq) > c.cfg.IQ {
+		return c.inv(-1, "iq-capacity", "IQ over capacity: %d > %d", len(c.iq), c.cfg.IQ)
+	}
+	for _, u := range c.iq {
+		if u.state != stateDispatched {
+			return c.inv(u.tid, "iq-state", "IQ entry %v in state %v", u, u.state)
+		}
+		if u.toShelf {
+			return c.inv(u.tid, "iq-state", "shelf op %v found in IQ", u)
+		}
+	}
+
+	// Free-list conservation.
+	if len(c.freePRI) > c.cfg.PRF {
+		return c.inv(-1, "freelist-conservation",
+			"physical free list overfull: %d > %d", len(c.freePRI), c.cfg.PRF)
+	}
+	if len(c.freeExt) > c.extSize {
+		return c.inv(-1, "freelist-conservation",
+			"extension free list overfull: %d > %d", len(c.freeExt), c.extSize)
+	}
+	seen := make([]bool, c.numPRIs+c.extSize)
+	for _, p := range c.freePRI {
+		if int(p) < c.cfg.Threads*isa.NumArchRegs || int(p) >= c.numPRIs {
+			return c.inv(-1, "freelist-conservation", "free PRI %d outside rename pool", p)
+		}
+		if seen[p] {
+			return c.inv(-1, "freelist-conservation", "PRI %d on free list twice", p)
+		}
+		seen[p] = true
+	}
+	for _, tag := range c.freeExt {
+		if int(tag) < c.extBase || int(tag) >= c.numPRIs+c.extSize {
+			return c.inv(-1, "freelist-conservation", "free extension tag %d out of range", tag)
+		}
+		if seen[tag] {
+			return c.inv(-1, "freelist-conservation", "extension tag %d on free list twice", tag)
+		}
+		seen[tag] = true
+	}
+	for _, t := range c.threads {
+		for r := 0; r < isa.NumArchRegs; r++ {
+			if t.ratPRI[r] < 0 || int(t.ratPRI[r]) >= c.numPRIs {
+				return c.inv(t.id, "rat-range", "RAT PRI out of range for r%d: %d", r, t.ratPRI[r])
+			}
+			if t.ratTag[r] < 0 || int(t.ratTag[r]) >= c.numPRIs+c.extSize {
+				return c.inv(t.id, "rat-range", "RAT tag out of range for r%d: %d", r, t.ratTag[r])
+			}
+			if seen[t.ratPRI[r]] {
+				return c.inv(t.id, "freelist-conservation",
+					"PRI %d mapped by r%d while on the free list", t.ratPRI[r], r)
+			}
+			if c.isExtTag(t.ratTag[r]) && seen[t.ratTag[r]] {
+				return c.inv(t.id, "freelist-conservation",
+					"extension tag %d mapped by r%d while on the free list", t.ratTag[r], r)
+			}
+		}
+	}
+	return nil
+}
+
+// checkThread validates one thread's partitioned structures.
+func (c *Core) checkThread(t *thread) *InvariantError {
+	// ROB pointer sanity and capacity.
+	if t.robHead > t.robAllocPos {
+		return c.inv(t.id, "rob-order", "ROB head %d past alloc %d", t.robHead, t.robAllocPos)
+	}
+	if t.robAllocPos-t.robHead > int64(t.robCap) {
+		return c.inv(t.id, "rob-capacity", "ROB occupancy %d over capacity %d",
+			t.robAllocPos-t.robHead, t.robCap)
+	}
+
+	// Issue-tracking head within [robHead, robAllocPos]; bitvector
+	// consistent with the dispatched run: a clear bit names an occupied,
+	// unissued IQ entry, a set bit an issued (or elder, already tracked)
+	// one (§III-A).
+	if t.itHead < t.robHead || t.itHead > t.robAllocPos {
+		return c.inv(t.id, "it-head", "issue-tracking head %d outside ROB [%d,%d]",
+			t.itHead, t.robHead, t.robAllocPos)
+	}
+	var prevROBSeq int64 = -1
+	for pos := t.robHead; pos < t.robAllocPos; pos++ {
+		u := t.rob[pos%int64(t.robCap)]
+		if u == nil || u.robPos != pos || u.tid != t.id || u.toShelf {
+			return c.inv(t.id, "rob-order", "ROB slot %d holds %v", pos, u)
+		}
+		if u.seq <= prevROBSeq {
+			return c.inv(t.id, "rob-order", "ROB not in program order at pos %d seq %d", pos, u.seq)
+		}
+		prevROBSeq = u.seq
+		if pos >= t.itHead {
+			issued := t.itIssued[pos%int64(t.robCap)]
+			if issued && !u.issued() && u.state != stateSquashed {
+				return c.inv(t.id, "it-bitvector",
+					"issue bit set for pos %d but op is %v", pos, u.state)
+			}
+			if !issued && u.state != stateDispatched {
+				return c.inv(t.id, "it-bitvector",
+					"issue bit clear for pos %d but op is %v", pos, u.state)
+			}
+		}
+	}
+
+	// SSR depth bounds (§III-B): remaining-cycle counters never negative
+	// and never beyond any legitimate resolution delay.
+	if t.iqSSR < 0 || t.iqSSR > maxSSRDepth {
+		return c.inv(t.id, "ssr-bounds", "IQ SSR %d out of bounds", t.iqSSR)
+	}
+	if t.shelfSSR < 0 || t.shelfSSR > maxSSRDepth {
+		return c.inv(t.id, "ssr-bounds", "shelf SSR %d out of bounds", t.shelfSSR)
+	}
+
+	if t.shelfCap > 0 {
+		if err := c.checkShelf(t); err != nil {
+			return err
+		}
+	}
+
+	// LQ/SQ capacity and age ordering (program-ordered partitions).
+	if len(t.lq) > t.lqCap || len(t.sq) > t.sqCap {
+		return c.inv(t.id, "lsq-capacity", "LSQ over capacity: lq=%d/%d sq=%d/%d",
+			len(t.lq), t.lqCap, len(t.sq), t.sqCap)
+	}
+	for name, q := range map[string][]*uop{"LQ": t.lq, "SQ": t.sq} {
+		var prev int64 = -1
+		for _, u := range q {
+			if u.seq <= prev {
+				return c.inv(t.id, "lsq-order", "%s not age-ordered at seq %d", name, u.seq)
+			}
+			prev = u.seq
+			if u.tid != t.id || u.toShelf {
+				return c.inv(t.id, "lsq-order", "%s holds foreign or shelf op %v", name, u)
+			}
+			if u.state == stateSquashed || u.state == stateRetired {
+				return c.inv(t.id, "lsq-order", "%s holds %v op %v", name, u.state, u)
+			}
+			if name == "LQ" && u.inst.Op != isa.OpLoad || name == "SQ" && u.inst.Op != isa.OpStore {
+				return c.inv(t.id, "lsq-order", "%s holds non-matching op %v", name, u)
+			}
+		}
+	}
+
+	// In-flight list strictly in program order with live states only.
+	var prevSeq int64 = -1
+	for _, u := range t.inflight {
+		if u.seq <= prevSeq {
+			return c.inv(t.id, "inflight-order", "inflight not in program order at seq %d", u.seq)
+		}
+		prevSeq = u.seq
+		if u.state == stateFetched || u.state == stateSquashed {
+			return c.inv(t.id, "inflight-order", "inflight op %v in state %v", u, u.state)
+		}
+	}
+	return nil
+}
+
+// checkShelf validates the shelf FIFO and its doubled index space
+// (§III-A/B).
+func (c *Core) checkShelf(t *thread) *InvariantError {
+	span := int64(2 * t.shelfCap)
+	if t.shelfHead > t.shelfTail {
+		return c.inv(t.id, "shelf-order", "shelf head %d past tail %d", t.shelfHead, t.shelfTail)
+	}
+	if t.shelfTail-t.shelfHead > int64(t.shelfCap) {
+		return c.inv(t.id, "shelf-capacity", "shelf occupancy %d over capacity %d",
+			t.shelfTail-t.shelfHead, t.shelfCap)
+	}
+	if t.shelfRetire > t.shelfTail {
+		return c.inv(t.id, "shelf-retire", "shelf retire pointer %d past tail %d",
+			t.shelfRetire, t.shelfTail)
+	}
+	// Doubled-index-space disjointness at retire: the live window
+	// [shelfRetire, shelfTail) must fit within one lap of the doubled
+	// space, so every retire/busy bit maps to at most one virtual index.
+	if t.shelfTail-t.shelfRetire > span {
+		return c.inv(t.id, "shelf-index-disjoint",
+			"live shelf index window [%d,%d) exceeds doubled space %d",
+			t.shelfRetire, t.shelfTail, span)
+	}
+	for b := int64(0); b < span; b++ {
+		// The virtual index in [shelfRetire, shelfTail) mapping to raw
+		// slot b, if any.
+		idx := t.shelfRetire + ((b-t.shelfRetire%span)+span)%span
+		live := idx < t.shelfTail
+		if !live && t.shelfRetired[b] {
+			return c.inv(t.id, "shelf-index-disjoint",
+				"retired bit set at slot %d outside live window [%d,%d)",
+				b, t.shelfRetire, t.shelfTail)
+		}
+		if t.shelfRetired[b] && t.shelfIndexBusy[b] {
+			return c.inv(t.id, "shelf-index-disjoint",
+				"slot %d both retired and busy (squash drain pending)", b)
+		}
+	}
+	// FIFO entries [shelfHead, shelfTail) occupied, program-ordered,
+	// awaiting issue.
+	var prev int64 = -1
+	for idx := t.shelfHead; idx < t.shelfTail; idx++ {
+		u := t.shelf[idx%int64(t.shelfCap)]
+		if u == nil || !u.toShelf || u.tid != t.id || u.shelfIdx != idx {
+			return c.inv(t.id, "shelf-order", "shelf slot %d holds %v", idx, u)
+		}
+		if u.state != stateDispatched {
+			return c.inv(t.id, "shelf-order", "unissued shelf entry %v in state %v", u, u.state)
+		}
+		if u.seq <= prev {
+			return c.inv(t.id, "shelf-order", "shelf not in program order at idx %d seq %d",
+				idx, u.seq)
+		}
+		prev = u.seq
+	}
+	return nil
+}

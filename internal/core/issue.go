@@ -203,7 +203,7 @@ func (c *Core) issueOne(u *uop, now int64) {
 
 	if u.toShelf {
 		if t.shelfOldest() != u {
-			panic("core: issuing shelf op that is not the FIFO head")
+			c.fail(t.id, "shelf-head", "issuing shelf op %v that is not the FIFO head", u)
 		}
 		t.shelfHead++ // the entry is reusable immediately (§III-B)
 		c.stats.ShelfReads++

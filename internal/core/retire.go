@@ -57,14 +57,14 @@ func (c *Core) retireOne(t *thread, now int64) bool {
 	case isa.OpStore:
 		// Drain the store through the coalescing store buffer.
 		if len(t.sq) == 0 || t.sq[0] != u {
-			panic("core: retiring store is not the SQ head")
+			c.fail(t.id, "sq-head", "retiring store %v is not the SQ head", u)
 		}
 		t.sq = t.sq[1:]
 		c.hier.StoreCommit(u.inst.Addr, now)
 		t.commitStore(u.inst.Addr>>3, now)
 	case isa.OpLoad:
 		if len(t.lq) == 0 || t.lq[0] != u {
-			panic("core: retiring load is not the LQ head")
+			c.fail(t.id, "lq-head", "retiring load %v is not the LQ head", u)
 		}
 		t.lq = t.lq[1:]
 	}
@@ -80,6 +80,9 @@ func (c *Core) pruneRetired(t *thread, now int64) {
 		u := t.inflight[i]
 		t.retired++
 		c.stats.Retired++
+		if c.retireObs != nil {
+			c.retireObs(t.id, u.seq)
+		}
 		if u.inSeq {
 			t.retiredInSeq++
 		}

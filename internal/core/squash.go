@@ -139,7 +139,7 @@ func (c *Core) squashOne(t *thread, u *uop, minROBPos, minShelfIdx *int64) {
 		// Retired ops are not in inflight with seq >= fromSeq (a retired
 		// op is non-speculative, hence elder than any squash source);
 		// fetched ops are not in inflight at all.
-		panic("core: squash reached op in state " + u.state.String())
+		c.fail(t.id, "squash-state", "squash reached op %v in state %v", u, u.state)
 	}
 }
 
@@ -151,7 +151,7 @@ func (c *Core) removeFromIQ(u *uop) {
 			return
 		}
 	}
-	panic("core: dispatched IQ op missing from issue queue")
+	c.fail(u.tid, "iq-missing", "dispatched IQ op %v missing from issue queue", u)
 }
 
 // truncateQueue drops the suffix of q with seq >= fromSeq.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shelfsim/internal/config"
+	"shelfsim/internal/core"
 	"shelfsim/internal/energy"
 	"shelfsim/internal/metrics"
 	"shelfsim/internal/workload"
@@ -17,7 +18,9 @@ type Fig1Row struct {
 	ThreadFracs []float64 // per-thread samples behind the mean
 }
 
-// Fig1 reproduces Figure 1: in-sequence fraction vs thread count.
+// Fig1 reproduces Figure 1: in-sequence fraction vs thread count. Mixes
+// whose supervised run fails are recorded and skipped; the figure errors
+// only when every mix of a thread count fails.
 func (h *Harness) Fig1(threadCounts []int) ([]Fig1Row, error) {
 	rows := make([]Fig1Row, 0, len(threadCounts))
 	for _, th := range threadCounts {
@@ -25,12 +28,18 @@ func (h *Harness) Fig1(threadCounts []int) ([]Fig1Row, error) {
 		row := Fig1Row{Threads: th}
 		for _, mix := range h.Mixes(th) {
 			res, err := h.Run(cfg, mix)
+			if Skippable(err) {
+				continue
+			}
 			if err != nil {
 				return nil, err
 			}
 			for _, t := range res.Threads {
 				row.ThreadFracs = append(row.ThreadFracs, t.InSeqFraction)
 			}
+		}
+		if len(row.ThreadFracs) == 0 {
+			return nil, fmt.Errorf("harness: Fig1 with %d threads: every mix failed", th)
 		}
 		row.InSeqFrac = metrics.Mean(row.ThreadFracs)
 		rows = append(rows, row)
@@ -52,13 +61,21 @@ type Fig2Result struct {
 // Fig2 reproduces Figure 2 on the 128-entry single-thread window.
 func (h *Harness) Fig2() (*Fig2Result, error) {
 	pooled := metrics.NewSeriesTracker()
+	merged := 0
 	for _, k := range workload.Kernels() {
 		cfg := config.Base128(1)
 		res, err := h.Run(cfg, workload.Mix{ID: 0, Kernels: []*workload.Kernel{k}})
+		if Skippable(err) {
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
 		pooled.Merge(res.Threads[0].Series)
+		merged++
+	}
+	if merged == 0 {
+		return nil, fmt.Errorf("harness: Fig2: every kernel run failed")
 	}
 	return &Fig2Result{
 		InSeq:            pooled.InSeqCDF(),
@@ -90,21 +107,31 @@ func (h *Harness) Fig10(threads int) ([]MixSTP, error) {
 		config.Base128(threads),
 	}
 	out := make([]MixSTP, 0, h.MixCount)
+mixes:
 	for _, mix := range h.Mixes(threads) {
 		row := MixSTP{Mix: mix}
 		vals := []*float64{&row.Base64, &row.ShelfCons, &row.ShelfOpt, &row.Base128}
 		for i, cfg := range configs {
 			res, err := h.Run(cfg, mix)
+			if Skippable(err) {
+				continue mixes
+			}
 			if err != nil {
 				return nil, err
 			}
 			stp, err := h.STP(mix, res)
+			if Skippable(err) {
+				continue mixes
+			}
 			if err != nil {
 				return nil, err
 			}
 			*vals[i] = stp
 		}
 		out = append(out, row)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: Fig10 with %d threads: every mix failed", threads)
 	}
 	return out, nil
 }
@@ -126,7 +153,10 @@ func Summarize(improvements []float64) (Summary, error) {
 	if err != nil {
 		return Summary{}, err
 	}
-	mn, md, mx := metrics.MinMedianMax(improvements)
+	mn, md, mx, err := metrics.MinMedianMax(improvements)
+	if err != nil {
+		return Summary{}, err
+	}
 	return Summary{
 		MinMix: mn, MedianMix: md, MaxMix: mx,
 		Min: improvements[mn], Median: improvements[md], Max: improvements[mx],
@@ -150,6 +180,9 @@ func (h *Harness) Fig11(threads int, mixIdx []int) ([]Fig11Row, error) {
 	for _, idx := range mixIdx {
 		mix := mixes[idx]
 		res, err := h.Run(cfg, mix)
+		if Skippable(err) {
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -180,6 +213,7 @@ func (h *Harness) Fig12(threads int, optimistic bool) ([]MixSteering, error) {
 	oracle.Name = practical.Name + "-oracle"
 
 	out := make([]MixSteering, 0, h.MixCount)
+mixes:
 	for _, mix := range h.Mixes(threads) {
 		row := MixSteering{Mix: mix}
 		for _, rc := range []struct {
@@ -187,16 +221,25 @@ func (h *Harness) Fig12(threads int, optimistic bool) ([]MixSteering, error) {
 			dst *float64
 		}{{base, &row.Base64}, {practical, &row.Practical}, {oracle, &row.Oracle}} {
 			res, err := h.Run(rc.cfg, mix)
+			if Skippable(err) {
+				continue mixes
+			}
 			if err != nil {
 				return nil, err
 			}
 			stp, err := h.STP(mix, res)
+			if Skippable(err) {
+				continue mixes
+			}
 			if err != nil {
 				return nil, err
 			}
 			*rc.dst = stp
 		}
 		out = append(out, row)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: Fig12 with %d threads: every mix failed", threads)
 	}
 	return out, nil
 }
@@ -221,21 +264,31 @@ func (h *Harness) Fig13(threads int) ([]MixEDP, error) {
 		config.Base128(threads),
 	}
 	out := make([]MixEDP, 0, h.MixCount)
+mixes:
 	for _, mix := range h.Mixes(threads) {
 		row := MixEDP{Mix: mix}
 		vals := []*float64{&row.Base64, &row.ShelfCons, &row.ShelfOpt, &row.Base128}
 		for i, cfg := range configs {
 			res, err := h.Run(cfg, mix)
+			if Skippable(err) {
+				continue mixes
+			}
 			if err != nil {
 				return nil, err
 			}
 			stp, err := h.STP(mix, res)
+			if Skippable(err) {
+				continue mixes
+			}
 			if err != nil {
 				return nil, err
 			}
 			*vals[i] = EDPFrom(Power(&cfg, res), stp)
 		}
 		out = append(out, row)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: Fig13 with %d threads: every mix failed", threads)
 	}
 	return out, nil
 }
@@ -255,26 +308,28 @@ func (h *Harness) Fig14(threadCounts []int, optimistic bool) ([]Fig14Row, error)
 		base := config.Base64(th)
 		shelf := config.Shelf64(th, optimistic)
 		var stpRatios, edpRatios []float64
+	mixes:
 		for _, mix := range h.Mixes(th) {
-			rb, err := h.Run(base, mix)
-			if err != nil {
-				return nil, err
-			}
-			rs, err := h.Run(shelf, mix)
-			if err != nil {
-				return nil, err
-			}
-			sb, err := h.STP(mix, rb)
-			if err != nil {
-				return nil, err
-			}
-			ss, err := h.STP(mix, rs)
-			if err != nil {
-				return nil, err
+			var rb, rs *core.Result
+			var sb, ss float64
+			for _, step := range []func() error{
+				func() (err error) { rb, err = h.Run(base, mix); return },
+				func() (err error) { rs, err = h.Run(shelf, mix); return },
+				func() (err error) { sb, err = h.STP(mix, rb); return },
+				func() (err error) { ss, err = h.STP(mix, rs); return },
+			} {
+				if err := step(); Skippable(err) {
+					continue mixes
+				} else if err != nil {
+					return nil, err
+				}
 			}
 			stpRatios = append(stpRatios, ss/sb)
 			edpRatios = append(edpRatios,
 				EDPFrom(Power(&base, rb), sb)/EDPFrom(Power(&shelf, rs), ss))
+		}
+		if len(stpRatios) == 0 {
+			return nil, fmt.Errorf("harness: Fig14 with %d threads: every mix failed", th)
 		}
 		gmSTP, err := metrics.GeoMean(stpRatios)
 		if err != nil {

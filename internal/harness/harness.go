@@ -1,21 +1,29 @@
 // Package harness runs the paper's experiments: it builds workloads,
 // drives simulations with the paper's warmup/measurement methodology,
 // memoizes runs shared between figures, and computes the reported metrics
-// (STP over single-threaded CPIs, EDP, in-sequence statistics).
+// (STP over single-threaded CPIs, EDP, in-sequence statistics). Runs are
+// supervised by internal/runner: a crashing or hung simulation becomes a
+// recorded failure and the surrounding experiment degrades gracefully
+// instead of aborting.
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"shelfsim/internal/config"
 	"shelfsim/internal/core"
 	"shelfsim/internal/energy"
-	"shelfsim/internal/isa"
 	"shelfsim/internal/metrics"
+	"shelfsim/internal/runner"
 	"shelfsim/internal/workload"
 )
 
-// Harness caches simulation results across experiments.
+// Harness caches simulation results across experiments. It is safe for
+// concurrent use: Prewarm executes runs on the runner's worker pool and
+// figure computations then hit the shared cache.
 type Harness struct {
 	// Warmup and Insts are per-thread retired-instruction counts for the
 	// warmup and measurement windows.
@@ -24,9 +32,26 @@ type Harness struct {
 	// MixCount limits how many of the 28 balanced-random mixes are used
 	// (28 = full paper methodology; fewer for quick runs).
 	MixCount int
+	// Runner supervises the simulations (panic recovery, budgets,
+	// timeouts, retries). New installs a default zero-policy runner.
+	Runner *runner.Runner
+	// CheckInvariants enables the core's per-cycle invariant checker on
+	// every supervised run.
+	CheckInvariants bool
+	// FaultConfig/FaultMix/FaultCycle inject an artificial invariant
+	// violation into runs of the named configuration at the given cycle —
+	// the fault-path test hook for exercising graceful degradation end to
+	// end. An empty FaultMix faults every mix of FaultConfig; naming a mix
+	// confines the fault to that one run so the rest of a sweep completes.
+	FaultConfig string
+	FaultMix    string
+	FaultCycle  int64
 
+	mu        sync.Mutex
 	singleCPI map[string]float64
 	runCache  map[string]*core.Result
+	failCache map[string]*runner.SimError
+	failures  []*runner.SimError
 }
 
 // New builds a harness with the given measurement window; warmup defaults
@@ -39,8 +64,10 @@ func New(insts int64, mixCount int) *Harness {
 		Warmup:    insts / 2,
 		Insts:     insts,
 		MixCount:  mixCount,
+		Runner:    &runner.Runner{},
 		singleCPI: make(map[string]float64),
 		runCache:  make(map[string]*core.Result),
+		failCache: make(map[string]*runner.SimError),
 	}
 }
 
@@ -50,36 +77,141 @@ func (h *Harness) Mixes(threads int) []workload.Mix {
 	return workload.PaperMixes(threads)[:h.MixCount]
 }
 
-// Run simulates cfg over mix (memoized on config name + mix identity).
+// prepare applies the harness-wide run options to one job's config.
+func (h *Harness) prepare(cfg *config.Config, mix workload.Mix) {
+	if h.CheckInvariants {
+		cfg.CheckInvariants = true
+	}
+	if h.FaultConfig != "" && cfg.Name == h.FaultConfig &&
+		(h.FaultMix == "" || mix.Name() == h.FaultMix) {
+		cfg.InjectFaultCycle = h.FaultCycle
+	}
+}
+
+// cacheKey keys runs on the full configuration fingerprint, not the
+// config's display name: two configs sharing a Name but differing in any
+// parameter (steering policy, queue sizes, ablation flags) must not alias.
+func (h *Harness) cacheKey(cfg *config.Config, mix workload.Mix) string {
+	return fmt.Sprintf("%s/%s/%d/%d", cfg.Fingerprint(), mix.Name(), h.Warmup, h.Insts)
+}
+
+// Run simulates cfg over mix under runner supervision, memoized on the
+// config fingerprint and mix identity. Failures are recorded (see
+// Failures) and returned as *runner.SimError.
 func (h *Harness) Run(cfg config.Config, mix workload.Mix) (*core.Result, error) {
-	key := fmt.Sprintf("%s/%d/%s/%d/%d", cfg.Name, cfg.Threads, mix.Name(), h.Warmup, h.Insts)
+	h.prepare(&cfg, mix)
+	key := h.cacheKey(&cfg, mix)
+	h.mu.Lock()
 	if r, ok := h.runCache[key]; ok {
+		h.mu.Unlock()
 		return r, nil
 	}
-	streams := make([]isa.Stream, len(mix.Kernels))
-	for i, k := range mix.Kernels {
-		streams[i] = k.NewStream(uint64(i+1)<<32, uint64(i)+1, -1)
+	if se, ok := h.failCache[key]; ok {
+		// Deterministic failure already recorded: don't re-run, don't
+		// double-count it in the manifest.
+		h.mu.Unlock()
+		return nil, se
 	}
-	c, err := core.New(cfg, streams)
-	if err != nil {
-		return nil, err
+	h.mu.Unlock()
+
+	res, simErr := h.Runner.Execute(context.Background(), runner.Job{
+		Config: cfg, Mix: mix, Warmup: h.Warmup, Measure: h.Insts,
+	})
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if simErr != nil {
+		h.recordFailure(key, simErr)
+		return nil, simErr
 	}
-	c.SetRetireTargets(h.Warmup, h.Insts)
-	maxCycles := (h.Warmup + h.Insts) * int64(cfg.Threads) * 1000
-	if _, finished := c.Run(maxCycles); !finished {
-		return nil, fmt.Errorf("harness: %s on %s did not finish in %d cycles",
-			cfg.Name, mix.Name(), maxCycles)
+	if prev, ok := h.runCache[key]; ok {
+		// A concurrent run won the race; keep the first pointer stable.
+		return prev, nil
 	}
-	res := c.Result()
-	h.runCache[key] = &res
-	return &res, nil
+	h.runCache[key] = res
+	return res, nil
+}
+
+// Prewarm executes the cross product of configs and mixes on the runner's
+// worker pool, filling the run cache in parallel. Per-run failures are
+// recorded, not fatal; the returned report carries partial results plus
+// the failure manifest.
+func (h *Harness) Prewarm(ctx context.Context, configs []config.Config, mixes []workload.Mix) *runner.Report {
+	var jobs []runner.Job
+	var keys []string
+	h.mu.Lock()
+	for _, base := range configs {
+		for _, mix := range mixes {
+			cfg := base
+			h.prepare(&cfg, mix)
+			key := h.cacheKey(&cfg, mix)
+			if _, ok := h.runCache[key]; ok {
+				continue
+			}
+			jobs = append(jobs, runner.Job{
+				Config: cfg, Mix: mix, Warmup: h.Warmup, Measure: h.Insts,
+			})
+			keys = append(keys, key)
+		}
+	}
+	h.mu.Unlock()
+
+	rep := h.Runner.RunAll(ctx, jobs)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, jr := range rep.Results {
+		if jr.Err != nil {
+			h.recordFailure(keys[i], jr.Err)
+			continue
+		}
+		if _, ok := h.runCache[keys[i]]; !ok {
+			h.runCache[keys[i]] = jr.Result
+		}
+	}
+	return rep
+}
+
+// recordFailure logs a supervised failure once and negatively caches
+// deterministic ones so later lookups don't re-run a known-bad job.
+// Transient failures (timeouts, budgets) stay uncached: a retry under
+// different load may succeed. Callers must hold h.mu.
+func (h *Harness) recordFailure(key string, se *runner.SimError) {
+	h.failures = append(h.failures, se)
+	if !se.Transient {
+		h.failCache[key] = se
+	}
+}
+
+// Failures returns the supervised failures recorded so far, oldest first.
+func (h *Harness) Failures() []*runner.SimError {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*runner.SimError, len(h.failures))
+	copy(out, h.failures)
+	return out
+}
+
+// Runs returns how many distinct simulations the harness has cached.
+func (h *Harness) Runs() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.runCache)
+}
+
+// Skippable reports whether err is a supervised per-run failure that a
+// sweep should record and skip rather than abort on.
+func Skippable(err error) bool {
+	var se *runner.SimError
+	return errors.As(err, &se)
 }
 
 // SingleCPI returns the kernel's CPI running alone on the single-threaded
 // baseline core — the normalization point for STP, shared by every
 // configuration so STP ratios are directly comparable.
 func (h *Harness) SingleCPI(kernel *workload.Kernel) (float64, error) {
-	if cpi, ok := h.singleCPI[kernel.Name]; ok {
+	h.mu.Lock()
+	cpi, ok := h.singleCPI[kernel.Name]
+	h.mu.Unlock()
+	if ok {
 		return cpi, nil
 	}
 	cfg := config.Base64(1)
@@ -88,11 +220,13 @@ func (h *Harness) SingleCPI(kernel *workload.Kernel) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	cpi := res.Threads[0].CPI
+	cpi = res.Threads[0].CPI
 	if cpi <= 0 {
 		return 0, fmt.Errorf("harness: non-positive single-thread CPI for %s", kernel.Name)
 	}
+	h.mu.Lock()
 	h.singleCPI[kernel.Name] = cpi
+	h.mu.Unlock()
 	return cpi, nil
 }
 

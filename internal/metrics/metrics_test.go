@@ -139,16 +139,16 @@ func TestMean(t *testing.T) {
 
 func TestMinMedianMax(t *testing.T) {
 	xs := []float64{5, 1, 3, 2, 4}
-	mn, md, mx := MinMedianMax(xs)
+	mn, md, mx, err := MinMedianMax(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if xs[mn] != 1 || xs[md] != 3 || xs[mx] != 5 {
 		t.Errorf("MinMedianMax picked %g,%g,%g", xs[mn], xs[md], xs[mx])
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("empty input should panic")
-		}
-	}()
-	MinMedianMax(nil)
+	if _, _, _, err := MinMedianMax(nil); err == nil {
+		t.Error("empty input should return an error")
+	}
 }
 
 // Property: STP of a mix where multi == single is exactly the thread count.

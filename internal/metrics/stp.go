@@ -73,11 +73,11 @@ func Mean(xs []float64) float64 {
 }
 
 // MinMedianMax returns the indices of the minimum, median and maximum
-// values of xs (median is the lower median for even lengths). It panics on
-// an empty slice.
-func MinMedianMax(xs []float64) (min, median, max int) {
+// values of xs (median is the lower median for even lengths). It returns
+// an error on an empty slice.
+func MinMedianMax(xs []float64) (min, median, max int, err error) {
 	if len(xs) == 0 {
-		panic("metrics: MinMedianMax of empty slice")
+		return 0, 0, 0, fmt.Errorf("metrics: MinMedianMax of empty slice")
 	}
 	idx := make([]int, len(xs))
 	for i := range idx {
@@ -89,5 +89,5 @@ func MinMedianMax(xs []float64) (min, median, max int) {
 			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
-	return idx[0], idx[(len(idx)-1)/2], idx[len(idx)-1]
+	return idx[0], idx[(len(idx)-1)/2], idx[len(idx)-1], nil
 }

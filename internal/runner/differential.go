@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/core"
+	"shelfsim/internal/isa"
+	"shelfsim/internal/workload"
+)
+
+// Differential validates the paper's semantics-preservation claim — the
+// shelf changes performance, never program semantics — by running the same
+// mix on both configurations over identical bounded streams and asserting
+// that every thread retires exactly the same instruction stream in program
+// order with the same retire count. A mismatch or a supervised failure is
+// returned as an error (SimErrors pass through for manifest collection).
+func (r *Runner) Differential(ctx context.Context, a, b config.Config, mix workload.Mix, insts int64) error {
+	countsA, err := r.runRecorded(ctx, a, mix, insts)
+	if err != nil {
+		return err
+	}
+	countsB, err := r.runRecorded(ctx, b, mix, insts)
+	if err != nil {
+		return err
+	}
+	for tid := range countsA {
+		if countsA[tid] != countsB[tid] {
+			return fmt.Errorf("runner: differential %s vs %s on %s: thread %d retired %d vs %d instructions",
+				a.Name, b.Name, mix.Name(), tid, countsA[tid], countsB[tid])
+		}
+	}
+	return nil
+}
+
+// runRecorded executes cfg over mix with bounded streams (limit insts per
+// thread) until every thread drains, recording retirement through the
+// retire observer. It verifies each thread retires sequence numbers
+// 0,1,2,... in strict program order with no drops or duplicates, and
+// returns the per-thread retire counts.
+func (r *Runner) runRecorded(ctx context.Context, cfg config.Config, mix workload.Mix, insts int64) ([]int64, error) {
+	return r.runStreams(ctx, cfg, mix, Streams(mix, insts), insts)
+}
+
+// runStreams is runRecorded over caller-supplied bounded streams (used by
+// the fuzzer to vary stream seeds beyond the harness conventions).
+func (r *Runner) runStreams(ctx context.Context, cfg config.Config, mix workload.Mix, streams []isa.Stream, insts int64) (counts []int64, err error) {
+	job := Job{Config: cfg, Mix: mix, Warmup: 0, Measure: insts}
+	var c *core.Core
+	defer func() {
+		if rec := recover(); rec != nil {
+			counts, err = nil, recoveredError(job, rec, 1, c)
+		}
+	}()
+
+	c, coreErr := core.New(cfg, streams)
+	if coreErr != nil {
+		return nil, coreErr
+	}
+	next := make([]int64, cfg.Threads)
+	var orderErr error
+	c.SetRetireObserver(func(tid int, seq int64) {
+		if orderErr == nil && seq != next[tid] {
+			orderErr = fmt.Errorf("runner: %s on %s: thread %d retired seq %d out of program order (expected %d)",
+				cfg.Name, mix.Name(), tid, seq, next[tid])
+		}
+		next[tid]++
+	})
+
+	budget := insts * int64(cfg.Threads) * r.cyclesPerInst()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, &SimError{
+				Config: cfg.Name, Mix: mix.Name(), Cycle: c.Cycle(), Thread: -1,
+				Attempt: 1, Transient: true,
+				Msg: fmt.Sprintf("wall-clock limit: %v", err), err: err,
+			}
+		}
+		remaining := budget - c.Cycle()
+		if remaining <= 0 {
+			return nil, &SimError{
+				Config: cfg.Name, Mix: mix.Name(), Cycle: c.Cycle(), Thread: -1,
+				Attempt: 1, Transient: true,
+				Msg: fmt.Sprintf("cycle budget %d exhausted during differential run", budget),
+			}
+		}
+		chunk := int64(ctxCheckInterval)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if _, finished := c.Run(chunk); finished {
+			break
+		}
+	}
+	if orderErr != nil {
+		return nil, orderErr
+	}
+	return next, nil
+}

@@ -1,0 +1,45 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Manifest is the serializable failure report of a sweep: which jobs
+// failed, where (config, mix, cycle, thread), and why. Emit it alongside
+// partial results so a failed experiment is diagnosable without rerunning.
+type Manifest struct {
+	GeneratedAt string      `json:"generated_at"`
+	Jobs        int         `json:"jobs"`
+	Failed      int         `json:"failed"`
+	Failures    []*SimError `json:"failures"`
+}
+
+// Manifest condenses the report into its failure manifest.
+func (r *Report) Manifest() Manifest {
+	return Manifest{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Jobs:        len(r.Results),
+		Failed:      len(r.Failures),
+		Failures:    r.Failures,
+	}
+}
+
+// NewManifest builds a manifest from already-collected failures (used by
+// callers that supervise runs one at a time rather than through RunAll).
+func NewManifest(total int, failures []*SimError) Manifest {
+	return Manifest{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Jobs:        total,
+		Failed:      len(failures),
+		Failures:    failures,
+	}
+}
+
+// WriteJSON renders the manifest as indented JSON.
+func (m Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

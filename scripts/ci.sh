@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# CI gate: build, vet, and run the full test suite under the race detector.
+# The simulator itself is single-threaded per run, but the runner executes
+# sweeps on a goroutine worker pool, so -race guards the supervision layer.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
