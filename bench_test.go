@@ -243,6 +243,27 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "insts/s")
 }
 
+// BenchmarkSimulatorThroughputTelemetry is BenchmarkSimulatorThroughput
+// with the per-core observability collector enabled; the pair bounds the
+// telemetry overhead (scripts/ci.sh compares them into BENCH_obs.json).
+func BenchmarkSimulatorThroughputTelemetry(b *testing.B) {
+	kernels := []string{"stencil", "gups", "branchy", "matblock"}
+	cfg := Shelf64(4, true)
+	cfg.Telemetry = true
+	var retired int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunKernels(cfg, kernels, 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Obs == nil || res.Obs.Cycles == 0 {
+			b.Fatal("telemetry enabled but nothing collected")
+		}
+		retired += res.Stats.Retired
+	}
+	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "insts/s")
+}
+
 // BenchmarkCoarseGrainSwitching contrasts the paper's per-instruction
 // steering with MorphCore-style whole-core switching (§VI): the coarse
 // design cannot interleave in-sequence and reordered instructions.

@@ -18,6 +18,7 @@ import (
 	"shelfsim/internal/config"
 	"shelfsim/internal/harness"
 	"shelfsim/internal/metrics"
+	"shelfsim/internal/obs"
 	"shelfsim/internal/runner"
 )
 
@@ -32,12 +33,22 @@ func main() {
 		faultCfg = flag.String("faultconfig", "", "inject an invariant violation into runs of this config name (test hook)")
 		faultMix = flag.String("faultmix", "", "confine -faultconfig's fault to this mix name (empty = every mix)")
 		faultCyc = flag.Int64("faultcycle", 1000, "cycle at which -faultconfig's fault fires")
+		obsOut   = flag.String("obs", "", "collect per-core telemetry and write the merged aggregate to this file (JSON, or CSV with a .csv extension)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 
 	h := harness.New(*insts, *mixes)
 	h.Runner.Workers = *workers
 	h.CheckInvariants = *check
+	h.Telemetry = *obsOut != ""
 	h.FaultConfig = *faultCfg
 	h.FaultMix = *faultMix
 	h.FaultCycle = *faultCyc
@@ -83,6 +94,16 @@ func main() {
 		if err := m.WriteJSON(os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: writing manifest: %v\n", err)
 		}
+	}
+	if *obsOut != "" {
+		if err := obs.WriteFile(*obsOut, h.MergedTelemetry()); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing telemetry: %v\n", err)
+			hardErrors++
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		hardErrors++
 	}
 	if hardErrors > 0 {
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"shelfsim"
+	"shelfsim/internal/obs"
 )
 
 func main() {
@@ -26,8 +27,16 @@ func main() {
 		insts      = flag.Int64("insts", 200_000, "retired instructions per thread")
 		steerName  = flag.String("steer", "", "override steering: all-iq, all-shelf, oracle, practical, coarse")
 		list       = flag.Bool("list", false, "list available kernels and exit")
+		obsOut     = flag.String("obs", "", "collect per-core telemetry and write it to this file (JSON, or CSV with a .csv extension)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	if *list {
 		for _, k := range shelfsim.Kernels() {
@@ -79,11 +88,21 @@ func main() {
 		}
 	}
 
+	cfg.Telemetry = cfg.Telemetry || *obsOut != ""
+
 	res, err := shelfsim.RunKernels(cfg, names, *insts)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	printResult(res)
+	if *obsOut != "" {
+		if err := obs.WriteFile(*obsOut, res.Obs); err != nil {
+			fatalf("writing telemetry: %v", err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 func printResult(res shelfsim.Result) {

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"shelfsim"
+	"shelfsim/internal/obs"
 	"shelfsim/internal/trace"
 )
 
@@ -91,10 +92,18 @@ func runTraces(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	configName := fs.String("config", "shelf64-opt", "base64, base128, shelf64-cons, shelf64-opt")
 	insts := fs.Int64("insts", 10_000, "measured instructions per thread")
+	obsOut := fs.String("obs", "", "collect per-core telemetry and write it to this file (JSON, or CSV with a .csv extension)")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(args)
 	paths := fs.Args()
 	if len(paths) == 0 {
 		fatalf("run needs trace files")
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	var cfg shelfsim.Config
@@ -111,6 +120,8 @@ func runTraces(args []string) {
 		fatalf("unknown config %q", *configName)
 	}
 
+	cfg.Telemetry = cfg.Telemetry || *obsOut != ""
+
 	streams := make([]shelfsim.Stream, len(paths))
 	for i, p := range paths {
 		streams[i] = openTrace(p)
@@ -123,6 +134,14 @@ func runTraces(args []string) {
 	for i, t := range res.Threads {
 		fmt.Printf("  thread %d (%s): CPI %.3f, %.1f%% in-seq, %.1f%% shelved\n",
 			i, t.Workload, t.CPI, 100*t.InSeqFraction, 100*t.ShelfFraction)
+	}
+	if *obsOut != "" {
+		if err := obs.WriteFile(*obsOut, res.Obs); err != nil {
+			fatalf("writing telemetry: %v", err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fatalf("%v", err)
 	}
 }
 

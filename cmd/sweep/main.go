@@ -18,6 +18,7 @@ import (
 	"shelfsim/internal/config"
 	"shelfsim/internal/harness"
 	"shelfsim/internal/metrics"
+	"shelfsim/internal/obs"
 	"shelfsim/internal/runner"
 )
 
@@ -30,6 +31,9 @@ func main() {
 		thread  = flag.Int("threads", 4, "SMT thread count")
 		workers = flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
 		check   = flag.Bool("check", false, "enable the per-cycle microarchitectural invariant checker")
+		obsOut  = flag.String("obs", "", "collect per-core telemetry and write the merged aggregate to this file (JSON, or CSV with a .csv extension)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,9 +42,15 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	h := harness.New(*insts, *mixes)
 	h.Runner.Workers = *workers
 	h.CheckInvariants = *check
+	h.Telemetry = *obsOut != ""
 	base := config.Base64(*thread)
 
 	fmt.Println("param,value,geomean_stp,geomean_stp_improvement,geomean_ipc,shelved_frac")
@@ -98,6 +108,14 @@ func main() {
 		if err := m.WriteJSON(os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: writing manifest: %v\n", err)
 		}
+	}
+	if *obsOut != "" {
+		if err := obs.WriteFile(*obsOut, h.MergedTelemetry()); err != nil {
+			fatalf("writing telemetry: %v", err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fatalf("%v", err)
 	}
 }
 

@@ -125,6 +125,31 @@ type Config struct {
 	Branch    branch.Config
 	StoreSets storesets.Config
 
+	// Ablation toggles: each skips one shelf correctness/timing mechanism
+	// so experiments can measure its contribution. They are ordinary
+	// configuration fields (part of the fingerprint), so ablated runs are
+	// reproducible per-run instead of depending on process-global state.
+	//
+	// AblateNoSSR skips the speculation-shift-register delay checks
+	// (§III-B); AblateNoWAW skips the shelf WAW scoreboard stall (§III-C);
+	// AblateNoElderStore skips the elder-stores-resolved check for shelf
+	// memory ops (§III-D); AblateNoRunCond skips the issue-tracking run
+	// condition (§III-A); AblateNoRetireCoord skips the ROB-vs-shelf
+	// retirement coordination (§III-B). All default off (full mechanism).
+	AblateNoSSR         bool
+	AblateNoWAW         bool
+	AblateNoElderStore  bool
+	AblateNoRunCond     bool
+	AblateNoRetireCoord bool
+
+	// Telemetry attaches a per-core observability collector (internal/obs)
+	// to the run: steer decisions per op class, scheduling delays, slot
+	// usage, squash causes and stage occupancies, exported via Result.Obs.
+	// It does not alter simulated timing, but it participates in the
+	// fingerprint like every other field, so telemetry-on and telemetry-off
+	// runs cache separately.
+	Telemetry bool
+
 	// CheckInvariants enables the core's per-cycle invariant checker
 	// (free-list conservation, ROB/shelf program order, issue-tracking
 	// bitvector consistency, SSR bounds, doubled shelf-index disjointness,

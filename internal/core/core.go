@@ -6,6 +6,7 @@ import (
 	"shelfsim/internal/config"
 	"shelfsim/internal/isa"
 	"shelfsim/internal/mem"
+	"shelfsim/internal/obs"
 	"shelfsim/internal/storesets"
 )
 
@@ -52,6 +53,13 @@ type Core struct {
 	// fully retires in program order (see SetRetireObserver).
 	retireObs func(tid int, seq int64)
 
+	// obs is this core's telemetry collector (nil unless Config.Telemetry);
+	// hooks are the per-core debug tracers and observers. Both are owned by
+	// the instance, so concurrently simulated cores share no mutable
+	// instrumentation state.
+	obs   *obs.Collector
+	hooks traceHooks
+
 	stats Stats
 }
 
@@ -69,6 +77,10 @@ func New(cfg config.Config, streams []isa.Stream) (*Core, error) {
 		cfg:   cfg,
 		hier:  mem.NewHierarchy(cfg.Mem),
 		ssets: storesets.New(cfg.StoreSets),
+		hooks: traceHooks{thread: -1},
+	}
+	if cfg.Telemetry {
+		c.obs = obs.New()
 	}
 	c.numPRIs = cfg.Threads*isa.NumArchRegs + cfg.PRF
 	c.extBase = c.numPRIs
@@ -187,10 +199,7 @@ func (c *Core) Step() {
 	issuesBefore, dispatchBefore := c.stats.Issues, c.stats.Renames
 	c.issue(now)
 	c.dispatch(now)
-	if DebugSlots.Enable {
-		DebugSlots.Issue[c.stats.Issues-issuesBefore]++
-		DebugSlots.Dispatch[c.stats.Renames-dispatchBefore]++
-	}
+	c.obs.RecordSlots(int(c.stats.Renames-dispatchBefore), int(c.stats.Issues-issuesBefore))
 	c.fetch(now)
 
 	c.accumulateOccupancy()
@@ -226,27 +235,41 @@ func (c *Core) Run(maxCycles int64) (cycles int64, finished bool) {
 	for _, t := range c.threads {
 		if !t.frozenSeries {
 			t.series.Finish()
+			t.frozenSeries = true
 		}
 	}
 	return c.cycle - start, true
 }
 
+// Obs returns the core's telemetry collector, or nil when Config.Telemetry
+// is off. The collector is owned by this core; read or merge it only after
+// the run completes.
+func (c *Core) Obs() *obs.Collector { return c.obs }
+
 // accumulateOccupancy integrates structure occupancies for the energy
-// model and for reporting.
+// model, for reporting, and for the telemetry gauges.
 func (c *Core) accumulateOccupancy() {
 	s := &c.stats
 	s.Cycles++
-	s.IQOccupancy += int64(len(c.iq))
-	s.PRFOccupancy += int64(c.cfg.PRF - len(c.freePRI))
+	iq := int64(len(c.iq))
+	prf := int64(c.cfg.PRF - len(c.freePRI))
+	s.IQOccupancy += iq
+	s.PRFOccupancy += prf
 	s.ExtTagOccupancy += int64(c.extSize - len(c.freeExt))
+	var rob, lq, sq, shelf int64
 	for _, t := range c.threads {
-		s.ROBOccupancy += t.robAllocPos - t.robHead
-		s.LQOccupancy += int64(len(t.lq))
-		s.SQOccupancy += int64(len(t.sq))
+		rob += t.robAllocPos - t.robHead
+		lq += int64(len(t.lq))
+		sq += int64(len(t.sq))
 		if t.shelfCap > 0 {
-			s.ShelfOccupancy += t.shelfTail - t.shelfHead
+			shelf += t.shelfTail - t.shelfHead
 		}
 	}
+	s.ROBOccupancy += rob
+	s.LQOccupancy += lq
+	s.SQOccupancy += sq
+	s.ShelfOccupancy += shelf
+	c.obs.RecordOccupancy(iq, rob, shelf, lq, sq, prf)
 }
 
 // allocPRI pops a free physical register, or returns -1.

@@ -228,7 +228,11 @@ func TestAllShelfIssuesInOrder(t *testing.T) {
 	cfg.Steer = config.SteerAllShelf
 	cfg.Name = "allshelf"
 	lastSeq := map[int]int64{}
-	TestIssueObserver = func(tid int, seq int64, toShelf bool) {
+	c, err := New(cfg, kernelStreams(t, []string{"matblock", "reduce"}, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetIssueObserver(func(tid int, seq int64, toShelf bool) {
 		if !toShelf {
 			t.Errorf("IQ issue under all-shelf steering (t%d seq %d)", tid, seq)
 		}
@@ -236,13 +240,7 @@ func TestAllShelfIssuesInOrder(t *testing.T) {
 			t.Errorf("thread %d issued seq %d after %d", tid, seq, prev)
 		}
 		lastSeq[tid] = seq
-	}
-	defer func() { TestIssueObserver = nil }()
-
-	c, err := New(cfg, kernelStreams(t, []string{"matblock", "reduce"}, 1000))
-	if err != nil {
-		t.Fatal(err)
-	}
+	})
 	run(t, c, 2_000_000)
 }
 

@@ -38,7 +38,7 @@ func (c *Core) dispatchOne(t *thread, now int64) bool {
 	if !u.steerDecided {
 		u.toShelf = t.shelfCap > 0 && c.steerer.Steer(c, t, u, now)
 		u.steerDecided = true
-		recordSteer(u, u.toShelf)
+		c.obs.RecordSteer(u.inst.Op, u.toShelf)
 	}
 
 	// Structural checks for the chosen side.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shelfsim/internal/isa"
+	"shelfsim/internal/obs"
 )
 
 // event is a pending completion: at cycle, uop u's result becomes
@@ -120,6 +121,7 @@ func (c *Core) complete(u *uop, now int64) {
 		t.pred.Resolve(u.inst.PC, u.inst.Taken, u.inst.Target, u.mispredict, u.predToken)
 		if u.mispredict {
 			t.mispredicts++
+			c.obs.RecordSquash(obs.SquashMispredict)
 			c.squash(t, u.seq+1, now)
 			if t.fetchBlockedOn == u {
 				// The resolving branch itself was blocking fetch.
@@ -188,14 +190,15 @@ func (c *Core) checkViolations(t *thread, u *uop, now int64) {
 		return
 	}
 	t.memViolations++
-	if DebugViolation != nil {
-		DebugViolation(
+	if c.hooks.violationFn != nil {
+		c.hooks.violationFn(
 			fmt.Sprintf("store t%d seq=%d pc=%x shelf=%v issue=%d addrRdy=%d dispatch=%d",
 				u.tid, u.seq, u.inst.PC, u.toShelf, u.issueCycle, u.addrReadyCycle, u.dispatchCycle),
 			fmt.Sprintf("load seq=%d pc=%x shelf=%v issue=%d fwdFrom=%d dep=%d dispatch=%d",
 				victim.seq, victim.inst.PC, victim.toShelf, victim.issueCycle, victim.forwardedFromSeq, victim.depStoreSeq, victim.dispatchCycle))
 	}
 	c.ssets.Violation(c.taggedPCOf(t, victim), c.taggedPC(u))
+	c.obs.RecordSquash(obs.SquashMemOrder)
 	c.squash(t, victim.seq, now)
 }
 

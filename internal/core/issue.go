@@ -80,7 +80,7 @@ func (c *Core) shelfEligible(t *thread, u *uop, now int64) bool {
 	if c.cfg.OptimisticShelf {
 		itRef = t.itHead
 	}
-	if itRef <= u.lastIQROBPos && !DebugNoRunCond {
+	if itRef <= u.lastIQROBPos && !c.cfg.AblateNoRunCond {
 		return false
 	}
 	// First shelf instruction of a run: copy the IQ SSR into the shelf
@@ -92,7 +92,7 @@ func (c *Core) shelfEligible(t *thread, u *uop, now int64) bool {
 	if c.cfg.SingleSSR {
 		// Ablation: consult the live IQ SSR, which younger reordered
 		// instructions keep pushing up (the starvation pathology).
-		if minExecDelay(u) < t.iqSSR && !DebugNoSSR {
+		if minExecDelay(u) < t.iqSSR && !c.cfg.AblateNoSSR {
 			return false
 		}
 	}
@@ -103,16 +103,16 @@ func (c *Core) shelfEligible(t *thread, u *uop, now int64) bool {
 	}
 	// WAW: the previous writer of the destination register must have
 	// written back before we may overwrite its physical register.
-	if u.hasDest() && u.prevTag >= 0 && !c.tagReady[u.prevTag] && !DebugNoWAW {
+	if u.hasDest() && u.prevTag >= 0 && !c.tagReady[u.prevTag] && !c.cfg.AblateNoWAW {
 		return false
 	}
 	// Speculation delay: the op's earliest possible writeback must fall
 	// after every elder instruction's speculation resolves.
-	if minExecDelay(u) < t.shelfSSR && !DebugNoSSR {
+	if minExecDelay(u) < t.shelfSSR && !c.cfg.AblateNoSSR {
 		return false
 	}
 	// Shelf memory ops require all elder stores' addresses resolved.
-	if u.inst.Op.IsMem() && !DebugNoElderStore {
+	if u.inst.Op.IsMem() && !c.cfg.AblateNoElderStore {
 		for _, v := range t.inflight {
 			if v.seq >= u.seq {
 				break
@@ -247,10 +247,10 @@ func (c *Core) issueOne(u *uop, now int64) {
 		}
 	}
 
-	recordIssueDelay(u)
-	traceUop("issue", u, now)
-	if TestIssueObserver != nil {
-		TestIssueObserver(u.tid, u.seq, u.toShelf)
+	c.obs.RecordIssue(u.inst.Op, u.toShelf, u.issueCycle-u.dispatchCycle, u.completeCycle-u.issueCycle)
+	c.traceUop("issue", u, now)
+	if c.hooks.issueFn != nil {
+		c.hooks.issueFn(u.tid, u.seq, u.toShelf)
 	}
 	c.events.push(event{cycle: u.completeCycle, gseq: u.gseq, u: u})
 }

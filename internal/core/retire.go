@@ -33,7 +33,7 @@ func (c *Core) retireOne(t *thread, now int64) bool {
 	}
 	// ROB instructions may not retire before older shelf instructions:
 	// wait until the shelf retire pointer reaches the recorded index.
-	if t.shelfCap > 0 && t.shelfRetire < u.shelfSquashIdx && !DebugNoRetireCoord {
+	if t.shelfCap > 0 && t.shelfRetire < u.shelfSquashIdx && !c.cfg.AblateNoRetireCoord {
 		c.stats.ROBShelfWaits++
 		return false
 	}
@@ -41,7 +41,7 @@ func (c *Core) retireOne(t *thread, now int64) bool {
 	u.state = stateRetired
 	t.robHead++
 	c.stats.ROBReads++
-	traceUop("retire", u, now)
+	c.traceUop("retire", u, now)
 
 	// Free the previous mapping (§III-C): the physical register returns
 	// to the physical free list; a differing tag came from the extension

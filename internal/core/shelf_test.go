@@ -65,15 +65,13 @@ func TestShelfIssueAfterElderIQ(t *testing.T) {
 		toShelf bool
 	}
 	var issued []rec
-	TestIssueObserver = func(tid int, seq int64, toShelf bool) {
-		issued = append(issued, rec{seq, toShelf})
-	}
-	defer func() { TestIssueObserver = nil }()
-
 	c, err := New(config.Shelf64(1, true), kernelStreams(t, []string{"matblock"}, 2000))
 	if err != nil {
 		t.Fatal(err)
 	}
+	c.SetIssueObserver(func(tid int, seq int64, toShelf bool) {
+		issued = append(issued, rec{seq, toShelf})
+	})
 	run(t, c, 1_000_000)
 
 	// Replay the issue log: when a shelf op issues, every elder op must

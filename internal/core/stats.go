@@ -4,6 +4,7 @@ import (
 	"shelfsim/internal/isa"
 	"shelfsim/internal/mem"
 	"shelfsim/internal/metrics"
+	"shelfsim/internal/obs"
 )
 
 // Stats holds the core-wide counters accumulated during simulation. Event
@@ -102,6 +103,8 @@ type Result struct {
 	L1I     mem.CacheStats
 	L1D     mem.CacheStats
 	L2      mem.CacheStats
+	// Obs is a copy of the run's telemetry (nil unless Config.Telemetry).
+	Obs *obs.Collector
 }
 
 // Stats returns a copy of the core-wide counters.
@@ -117,6 +120,7 @@ func (c *Core) Result() Result {
 		L1I:     c.hier.L1I().Stats,
 		L1D:     c.hier.L1D().Stats,
 		L2:      c.hier.L2().Stats,
+		Obs:     c.obs.Clone(),
 	}
 	for i, t := range c.threads {
 		tr := ThreadResult{

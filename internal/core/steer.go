@@ -116,8 +116,8 @@ func (practicalSteerer) Steer(c *Core, t *thread, u *uop, now int64) bool {
 	if toShelf {
 		issueChosen, completeChosen = issueShelf, completeShelf
 	}
-	if DebugSteerLoads != nil && u.tid == DebugTraceThread && u.seq >= DebugTraceFrom && u.seq <= DebugTraceTo {
-		DebugSteerLoads(fmt.Sprintf("steer %s seq=%d now=%d srcMax=%d relEI=%d relWB=%d cIQ=%d cSh=%d toShelf=%v late=%b",
+	if c.hooks.steerFn != nil && c.inTraceWindow(u) {
+		c.hooks.steerFn(fmt.Sprintf("steer %s seq=%d now=%d srcMax=%d relEI=%d relWB=%d cIQ=%d cSh=%d toShelf=%v late=%b",
 			u.inst.Op, u.seq, now, srcMax, relEI, relWB, completeIQ, completeShelf, toShelf, t.plt.LateMask()))
 	}
 

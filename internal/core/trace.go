@@ -1,0 +1,86 @@
+package core
+
+// traceHooks is the per-core replacement for the package's former global
+// debug hooks: every tracer and observer is owned by one Core instance, so
+// concurrently simulated cores never share mutable instrumentation state.
+type traceHooks struct {
+	// thread/from/to bound the uop and steering tracers to one thread's
+	// sequence-number window (thread < 0 disables both).
+	thread int
+	from   int64
+	to     int64
+	// uopFn receives a timeline line per pipeline stage of a traced uop.
+	uopFn func(s string)
+	// steerFn receives a line per steering computation of a traced uop.
+	steerFn func(s string)
+	// violationFn is invoked on each memory-order violation.
+	violationFn func(store, load string)
+	// issueFn is invoked on every instruction issue (tests use it to verify
+	// issue-ordering properties).
+	issueFn func(tid int, seq int64, toShelf bool)
+}
+
+// SetTrace installs fn as a per-uop timeline tracer for thread's sequence
+// numbers in [from, to]; the same window bounds SetSteerTrace. A negative
+// thread disables tracing.
+func (c *Core) SetTrace(thread int, from, to int64, fn func(s string)) {
+	c.hooks.thread = thread
+	c.hooks.from = from
+	c.hooks.to = to
+	c.hooks.uopFn = fn
+}
+
+// SetSteerTrace installs fn to receive steering computations for the
+// SetTrace window.
+func (c *Core) SetSteerTrace(fn func(s string)) { c.hooks.steerFn = fn }
+
+// SetViolationObserver installs fn to be called on each memory-order
+// violation with store and load descriptions.
+func (c *Core) SetViolationObserver(fn func(store, load string)) { c.hooks.violationFn = fn }
+
+// SetIssueObserver installs fn to be invoked on every instruction issue.
+func (c *Core) SetIssueObserver(fn func(tid int, seq int64, toShelf bool)) { c.hooks.issueFn = fn }
+
+// inTraceWindow reports whether u falls inside the SetTrace window.
+func (c *Core) inTraceWindow(u *uop) bool {
+	return u.tid == c.hooks.thread && u.seq >= c.hooks.from && u.seq <= c.hooks.to
+}
+
+func (c *Core) traceUop(stage string, u *uop, now int64) {
+	if c.hooks.uopFn == nil || !c.inTraceWindow(u) {
+		return
+	}
+	side := "iq"
+	if u.toShelf {
+		side = "sh"
+	}
+	c.hooks.uopFn(fmtTrace(stage, u, side, now))
+}
+
+func fmtTrace(stage string, u *uop, side string, now int64) string {
+	return stage + " " + u.inst.Op.String() + " seq=" + itoa(u.seq) + " " + side +
+		" disp=" + itoa(u.dispatchCycle) + " iss=" + itoa(u.issueCycle) +
+		" cmp=" + itoa(u.completeCycle) + " now=" + itoa(now)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -17,6 +17,7 @@ import (
 	"shelfsim/internal/core"
 	"shelfsim/internal/energy"
 	"shelfsim/internal/metrics"
+	"shelfsim/internal/obs"
 	"shelfsim/internal/runner"
 	"shelfsim/internal/workload"
 )
@@ -38,6 +39,9 @@ type Harness struct {
 	// CheckInvariants enables the core's per-cycle invariant checker on
 	// every supervised run.
 	CheckInvariants bool
+	// Telemetry enables the per-core observability collector on every
+	// supervised run; read the aggregate with MergedTelemetry.
+	Telemetry bool
 	// FaultConfig/FaultMix/FaultCycle inject an artificial invariant
 	// violation into runs of the named configuration at the given cycle —
 	// the fault-path test hook for exercising graceful degradation end to
@@ -81,6 +85,9 @@ func (h *Harness) Mixes(threads int) []workload.Mix {
 func (h *Harness) prepare(cfg *config.Config, mix workload.Mix) {
 	if h.CheckInvariants {
 		cfg.CheckInvariants = true
+	}
+	if h.Telemetry {
+		cfg.Telemetry = true
 	}
 	if h.FaultConfig != "" && cfg.Name == h.FaultConfig &&
 		(h.FaultMix == "" || mix.Name() == h.FaultMix) {
@@ -188,6 +195,21 @@ func (h *Harness) Failures() []*runner.SimError {
 	out := make([]*runner.SimError, len(h.failures))
 	copy(out, h.failures)
 	return out
+}
+
+// MergedTelemetry folds the telemetry of every cached run into one
+// collector. Each distinct simulation is counted exactly once no matter how
+// many experiments shared it through the cache — back-to-back runs can no
+// longer accumulate into each other the way the old process-global counters
+// did — and cache hits return the identical aggregate.
+func (h *Harness) MergedTelemetry() *obs.Collector {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := obs.New()
+	for _, res := range h.runCache {
+		m.Merge(res.Obs)
+	}
+	return m
 }
 
 // Runs returns how many distinct simulations the harness has cached.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"testing"
 
 	"shelfsim/internal/config"
@@ -26,6 +27,38 @@ func TestRunAndCache(t *testing.T) {
 	}
 	if r1.Cycles <= 0 || len(r1.Threads) != 4 {
 		t.Errorf("bad result: %+v", r1)
+	}
+}
+
+// TestMergedTelemetryCountsRunsOnce pins the cross-run accumulation fix:
+// re-running a cached (config, mix) must not inflate the aggregate the way
+// the old process-global counters did, and distinct runs add exactly once.
+func TestMergedTelemetryCountsRunsOnce(t *testing.T) {
+	h := tiny()
+	h.Telemetry = true
+	cfg := config.Shelf64(2, true)
+	mix := h.Mixes(2)[0]
+	if _, err := h.Run(cfg, mix); err != nil {
+		t.Fatal(err)
+	}
+	first := h.MergedTelemetry()
+	if first.Cycles == 0 {
+		t.Fatal("telemetry-enabled run recorded nothing")
+	}
+	if _, err := h.Run(cfg, mix); err != nil {
+		t.Fatal(err)
+	}
+	again := h.MergedTelemetry()
+	if !reflect.DeepEqual(first, again) {
+		t.Errorf("cache hit changed the aggregate:\n before %+v\n after  %+v", first, again)
+	}
+	if _, err := h.Run(cfg, h.Mixes(2)[1]); err != nil {
+		t.Fatal(err)
+	}
+	grown := h.MergedTelemetry()
+	if grown.Cycles <= first.Cycles {
+		t.Errorf("second distinct run did not grow the aggregate: %d -> %d",
+			first.Cycles, grown.Cycles)
 	}
 }
 

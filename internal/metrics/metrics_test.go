@@ -58,6 +58,29 @@ func TestSeriesFinishIdempotent(t *testing.T) {
 	}
 }
 
+func TestObserveAfterFinishPanics(t *testing.T) {
+	s := NewSeriesTracker()
+	s.Observe(true)
+	s.Finish()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("Observe after Finish did not panic")
+		}
+		err, ok := rec.(error)
+		if !ok {
+			t.Fatalf("panic value %v is not an error", rec)
+		}
+		if _, ok := err.(*UseAfterFinishError); !ok {
+			t.Fatalf("panic value %T, want *UseAfterFinishError", rec)
+		}
+		if err.Error() == "" {
+			t.Error("empty error message")
+		}
+	}()
+	s.Observe(false)
+}
+
 func TestSeriesMerge(t *testing.T) {
 	a, b := NewSeriesTracker(), NewSeriesTracker()
 	a.Observe(true)

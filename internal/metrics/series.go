@@ -13,9 +13,21 @@ type SeriesTracker struct {
 	curInSeq bool
 	curLen   int64
 	started  bool
+	finished bool
 	// histograms: series length -> number of series of that length.
 	inSeq     map[int64]int64
 	reordered map[int64]int64
+}
+
+// UseAfterFinishError is the typed panic value raised when a finished
+// SeriesTracker is fed further observations: silently restarting the
+// tracker would merge a new run's series into the frozen measurement
+// window's histograms.
+type UseAfterFinishError struct{}
+
+// Error implements the error interface.
+func (*UseAfterFinishError) Error() string {
+	return "metrics: SeriesTracker.Observe after Finish"
 }
 
 // NewSeriesTracker returns an empty tracker.
@@ -27,8 +39,11 @@ func NewSeriesTracker() *SeriesTracker {
 }
 
 // Observe records the classification of the next instruction in program
-// order.
+// order. Observing after Finish panics with *UseAfterFinishError.
 func (t *SeriesTracker) Observe(inSeq bool) {
+	if t.finished {
+		panic(&UseAfterFinishError{})
+	}
 	if t.started && inSeq == t.curInSeq {
 		t.curLen++
 		return
@@ -52,8 +67,14 @@ func (t *SeriesTracker) flush() {
 	t.curLen = 0
 }
 
-// Finish closes the trailing series; call once at end of simulation.
-func (t *SeriesTracker) Finish() { t.flush(); t.started = false }
+// Finish closes the trailing series at end of simulation and freezes the
+// tracker: calling Finish again is a no-op, but any further Observe panics
+// with *UseAfterFinishError.
+func (t *SeriesTracker) Finish() {
+	t.flush()
+	t.started = false
+	t.finished = true
+}
 
 // CDFPoint is one point of a weighted cumulative distribution: the
 // fraction of instructions that belong to series of length <= Length.

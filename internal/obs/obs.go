@@ -1,0 +1,415 @@
+// Package obs is the simulator's per-core observability layer: an
+// allocation-light telemetry collector owned by each core instance
+// (replacing the racy package-global debug counters the simulator grew up
+// with). A Collector accumulates steer decisions per op class, issue and
+// completion delays, per-cycle dispatch/issue slot histograms, squash
+// causes, and stage-occupancy gauges. Collectors from independent runs are
+// combined race-free with Merge after their runs complete, and export as
+// JSON or CSV for reading a sweep.
+//
+// All Record* methods are safe on a nil *Collector and compile to a single
+// branch in that case, so the simulator's hot path pays nothing when
+// telemetry is disabled.
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"shelfsim/internal/isa"
+)
+
+// SquashCause classifies pipeline flushes.
+type SquashCause uint8
+
+const (
+	// SquashMispredict is a branch-misprediction flush.
+	SquashMispredict SquashCause = iota
+	// SquashMemOrder is a memory-order-violation flush (§III-D).
+	SquashMemOrder
+
+	// NumSquashCauses is the number of distinct squash causes.
+	NumSquashCauses
+)
+
+// String names the squash cause.
+func (s SquashCause) String() string {
+	switch s {
+	case SquashMispredict:
+		return "mispredict"
+	case SquashMemOrder:
+		return "mem_order"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(s))
+	}
+}
+
+// Sides of the scheduling window: instructions are steered to the shared
+// issue queue or the per-thread shelf.
+const (
+	SideIQ = iota
+	SideShelf
+	numSides
+)
+
+var sideNames = [numSides]string{"iq", "sh"}
+
+// NumSlots bounds the dispatch/issue slot-usage histograms (per-cycle slot
+// counts at or above NumSlots-1 share the last bucket).
+const NumSlots = 16
+
+// DelayStat accumulates scheduling delays for one (side, op class):
+// dispatch-to-issue and issue-to-completion cycle sums over Count ops.
+type DelayStat struct {
+	IssueDelaySum    int64 `json:"issue_delay_sum"`
+	CompleteDelaySum int64 `json:"complete_delay_sum"`
+	Count            int64 `json:"count"`
+}
+
+// MeanIssueDelay is the average dispatch-to-issue delay in cycles.
+func (d *DelayStat) MeanIssueDelay() float64 { return mean(d.IssueDelaySum, d.Count) }
+
+// MeanCompleteDelay is the average issue-to-completion delay in cycles.
+func (d *DelayStat) MeanCompleteDelay() float64 { return mean(d.CompleteDelaySum, d.Count) }
+
+// Gauge integrates a per-cycle occupancy: sum and peak over Samples cycles.
+type Gauge struct {
+	Sum     int64 `json:"sum"`
+	Max     int64 `json:"max"`
+	Samples int64 `json:"samples"`
+}
+
+// Observe adds one per-cycle sample.
+func (g *Gauge) Observe(v int64) {
+	g.Sum += v
+	if v > g.Max {
+		g.Max = v
+	}
+	g.Samples++
+}
+
+// Mean is the average occupancy over the observed cycles.
+func (g *Gauge) Mean() float64 { return mean(g.Sum, g.Samples) }
+
+func (g *Gauge) merge(o *Gauge) {
+	g.Sum += o.Sum
+	if o.Max > g.Max {
+		g.Max = o.Max
+	}
+	g.Samples += o.Samples
+}
+
+func mean(sum, n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Collector is one core's telemetry. Every field is a plain value (arrays,
+// no maps or pointers), so a Collector never allocates after construction
+// and copies/merges with simple arithmetic. A Collector is NOT safe for
+// concurrent mutation; each simulated core owns exactly one, and sweeps
+// merge the finished collectors afterwards.
+type Collector struct {
+	// Cycles counts occupancy samples (one per simulated cycle).
+	Cycles int64
+	// Steer counts dispatch steering decisions per [side][op class].
+	Steer [numSides][isa.NumOpClasses]int64
+	// Delays accumulates scheduling delays per [side][op class].
+	Delays [numSides][isa.NumOpClasses]DelayStat
+	// DispatchSlots/IssueSlots histogram per-cycle slot usage.
+	DispatchSlots [NumSlots]int64
+	IssueSlots    [NumSlots]int64
+	// Squashes counts pipeline flushes per cause.
+	Squashes [NumSquashCauses]int64
+	// Stage-occupancy gauges, sampled once per cycle.
+	IQ, ROB, Shelf, LQ, SQ, PRF Gauge
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// Enabled reports whether the collector records anything (nil = disabled).
+func (c *Collector) Enabled() bool { return c != nil }
+
+func side(toShelf bool) int {
+	if toShelf {
+		return SideShelf
+	}
+	return SideIQ
+}
+
+// RecordSteer counts one dispatch steering decision.
+func (c *Collector) RecordSteer(op isa.OpClass, toShelf bool) {
+	if c == nil {
+		return
+	}
+	c.Steer[side(toShelf)][op]++
+}
+
+// RecordIssue accumulates one instruction's scheduling delays: issueDelay
+// is dispatch-to-issue, completeDelay is issue-to-completion.
+func (c *Collector) RecordIssue(op isa.OpClass, toShelf bool, issueDelay, completeDelay int64) {
+	if c == nil {
+		return
+	}
+	d := &c.Delays[side(toShelf)][op]
+	d.IssueDelaySum += issueDelay
+	d.CompleteDelaySum += completeDelay
+	d.Count++
+}
+
+// RecordSlots histograms one cycle's dispatch and issue slot usage.
+func (c *Collector) RecordSlots(dispatch, issue int) {
+	if c == nil {
+		return
+	}
+	c.DispatchSlots[clampSlot(dispatch)]++
+	c.IssueSlots[clampSlot(issue)]++
+}
+
+func clampSlot(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n >= NumSlots {
+		return NumSlots - 1
+	}
+	return n
+}
+
+// RecordSquash counts one pipeline flush.
+func (c *Collector) RecordSquash(cause SquashCause) {
+	if c == nil {
+		return
+	}
+	c.Squashes[cause]++
+}
+
+// RecordOccupancy samples the stage occupancies for one cycle.
+func (c *Collector) RecordOccupancy(iq, rob, shelf, lq, sq, prf int64) {
+	if c == nil {
+		return
+	}
+	c.Cycles++
+	c.IQ.Observe(iq)
+	c.ROB.Observe(rob)
+	c.Shelf.Observe(shelf)
+	c.LQ.Observe(lq)
+	c.SQ.Observe(sq)
+	c.PRF.Observe(prf)
+}
+
+// Merge folds another collector's telemetry into c. Merging is commutative
+// and associative, so a sweep may fold per-run collectors in any order;
+// gauge means stay exact (sums and sample counts add) while Max becomes the
+// maximum across runs.
+func (c *Collector) Merge(o *Collector) {
+	if c == nil || o == nil {
+		return
+	}
+	c.Cycles += o.Cycles
+	for s := 0; s < numSides; s++ {
+		for op := 0; op < int(isa.NumOpClasses); op++ {
+			c.Steer[s][op] += o.Steer[s][op]
+			d, od := &c.Delays[s][op], &o.Delays[s][op]
+			d.IssueDelaySum += od.IssueDelaySum
+			d.CompleteDelaySum += od.CompleteDelaySum
+			d.Count += od.Count
+		}
+	}
+	for i := range c.DispatchSlots {
+		c.DispatchSlots[i] += o.DispatchSlots[i]
+		c.IssueSlots[i] += o.IssueSlots[i]
+	}
+	for i := range c.Squashes {
+		c.Squashes[i] += o.Squashes[i]
+	}
+	c.IQ.merge(&o.IQ)
+	c.ROB.merge(&o.ROB)
+	c.Shelf.merge(&o.Shelf)
+	c.LQ.merge(&o.LQ)
+	c.SQ.merge(&o.SQ)
+	c.PRF.merge(&o.PRF)
+}
+
+// Clone returns an independent copy (a Collector is all value fields).
+func (c *Collector) Clone() *Collector {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	return &cp
+}
+
+// SteerCount is one op class's steer decisions in a Snapshot.
+type SteerCount struct {
+	Shelf int64 `json:"shelf"`
+	IQ    int64 `json:"iq"`
+}
+
+// DelaySummary is one (side, op class)'s delay statistics in a Snapshot.
+type DelaySummary struct {
+	Count             int64   `json:"count"`
+	MeanIssueDelay    float64 `json:"mean_issue_delay"`
+	MeanCompleteDelay float64 `json:"mean_complete_delay"`
+}
+
+// OccupancySummary is one stage gauge in a Snapshot.
+type OccupancySummary struct {
+	Mean float64 `json:"mean"`
+	Max  int64   `json:"max"`
+}
+
+// Snapshot is the name-keyed export view of a Collector: op classes and
+// squash causes become strings, gauges become mean/max summaries. Zero
+// entries are omitted from the maps.
+type Snapshot struct {
+	Cycles        int64                       `json:"cycles"`
+	Steer         map[string]SteerCount       `json:"steer"`
+	Delays        map[string]DelaySummary     `json:"delays"`
+	DispatchSlots []int64                     `json:"dispatch_slots"`
+	IssueSlots    []int64                     `json:"issue_slots"`
+	Squashes      map[string]int64            `json:"squashes"`
+	Occupancy     map[string]OccupancySummary `json:"occupancy"`
+}
+
+// Snapshot builds the exportable view. Safe on a nil collector (exports an
+// empty snapshot).
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		c = &Collector{}
+	}
+	s := Snapshot{
+		Cycles:        c.Cycles,
+		Steer:         map[string]SteerCount{},
+		Delays:        map[string]DelaySummary{},
+		DispatchSlots: append([]int64(nil), c.DispatchSlots[:]...),
+		IssueSlots:    append([]int64(nil), c.IssueSlots[:]...),
+		Squashes:      map[string]int64{},
+		Occupancy:     map[string]OccupancySummary{},
+	}
+	for op := 0; op < int(isa.NumOpClasses); op++ {
+		name := isa.OpClass(op).String()
+		if sh, iq := c.Steer[SideShelf][op], c.Steer[SideIQ][op]; sh != 0 || iq != 0 {
+			s.Steer[name] = SteerCount{Shelf: sh, IQ: iq}
+		}
+		for sd := 0; sd < numSides; sd++ {
+			if d := &c.Delays[sd][op]; d.Count != 0 {
+				s.Delays[sideNames[sd]+"."+name] = DelaySummary{
+					Count:             d.Count,
+					MeanIssueDelay:    d.MeanIssueDelay(),
+					MeanCompleteDelay: d.MeanCompleteDelay(),
+				}
+			}
+		}
+	}
+	for cause := SquashCause(0); cause < NumSquashCauses; cause++ {
+		if n := c.Squashes[cause]; n != 0 {
+			s.Squashes[cause.String()] = n
+		}
+	}
+	for _, g := range []struct {
+		name  string
+		gauge *Gauge
+	}{
+		{"iq", &c.IQ}, {"rob", &c.ROB}, {"shelf", &c.Shelf},
+		{"lq", &c.LQ}, {"sq", &c.SQ}, {"prf", &c.PRF},
+	} {
+		if g.gauge.Samples != 0 {
+			s.Occupancy[g.name] = OccupancySummary{Mean: g.gauge.Mean(), Max: g.gauge.Max}
+		}
+	}
+	return s
+}
+
+// MarshalJSON exports the name-keyed snapshot view, so a Collector embedded
+// in a result serializes readably.
+func (c *Collector) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.Snapshot())
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Snapshot())
+}
+
+// WriteCSV writes the snapshot as flat section,key,field,value rows, sorted
+// for stable diffing.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	s := c.Snapshot()
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"section", "key", "field", "value"}}
+	rows = append(rows, []string{"core", "cycles", "count", strconv.FormatInt(s.Cycles, 10)})
+	for _, k := range sortedKeys(s.Steer) {
+		v := s.Steer[k]
+		rows = append(rows,
+			[]string{"steer", k, "shelf", strconv.FormatInt(v.Shelf, 10)},
+			[]string{"steer", k, "iq", strconv.FormatInt(v.IQ, 10)})
+	}
+	for _, k := range sortedKeys(s.Delays) {
+		v := s.Delays[k]
+		rows = append(rows,
+			[]string{"delay", k, "count", strconv.FormatInt(v.Count, 10)},
+			[]string{"delay", k, "mean_issue_delay", formatFloat(v.MeanIssueDelay)},
+			[]string{"delay", k, "mean_complete_delay", formatFloat(v.MeanCompleteDelay)})
+	}
+	for i, n := range s.DispatchSlots {
+		rows = append(rows, []string{"dispatch_slots", strconv.Itoa(i), "count", strconv.FormatInt(n, 10)})
+	}
+	for i, n := range s.IssueSlots {
+		rows = append(rows, []string{"issue_slots", strconv.Itoa(i), "count", strconv.FormatInt(n, 10)})
+	}
+	for _, k := range sortedKeys(s.Squashes) {
+		rows = append(rows, []string{"squash", k, "count", strconv.FormatInt(s.Squashes[k], 10)})
+	}
+	for _, k := range sortedKeys(s.Occupancy) {
+		v := s.Occupancy[k]
+		rows = append(rows,
+			[]string{"occupancy", k, "mean", formatFloat(v.Mean)},
+			[]string{"occupancy", k, "max", strconv.FormatInt(v.Max, 10)})
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', 6, 64) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteFile exports the collector to path, choosing the format by
+// extension: ".csv" writes CSV, anything else indented JSON.
+func WriteFile(path string, c *Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = c.WriteCSV(f)
+	} else {
+		err = c.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the runtime profiling hooks the CLIs expose
+// (-cpuprofile / -memprofile): CPU profiling begins immediately when
+// cpuPath is non-empty, and the returned stop function ends it and writes a
+// heap profile to memPath (when non-empty). Either path may be empty; with
+// both empty the returned stop is a no-op. Stop is safe to call exactly
+// once; callers should invoke it before exiting so profiles are flushed.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("obs: cpu profile: %w", err)
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("obs: mem profile: %w", err)
+		}
+		runtime.GC() // materialize the steady-state heap before the snapshot
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("obs: mem profile: %w", werr)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/obs"
+)
+
+// telemetryJobs builds a small overlapping sweep (two configs over shared
+// mixes) with telemetry enabled on every job.
+func telemetryJobs() []Job {
+	configs := []config.Config{config.Shelf64(2, true), config.Base64(2)}
+	var jobs []Job
+	for _, cfg := range configs {
+		cfg.Telemetry = true
+		for _, mix := range testMixes(2, 3) {
+			jobs = append(jobs, Job{Config: cfg, Mix: mix, Warmup: 200, Measure: 1000})
+		}
+	}
+	return jobs
+}
+
+// TestTelemetryParallelMergeMatchesSerial runs the same telemetry-enabled
+// jobs serially and on a multi-worker pool and asserts the merged collectors
+// are identical: per-core ownership plus a post-drain merge makes the
+// aggregate independent of scheduling. Run under -race this is also the
+// regression test for the package-global counters this layer replaced,
+// which raced exactly here.
+func TestTelemetryParallelMergeMatchesSerial(t *testing.T) {
+	jobs := telemetryJobs()
+
+	serialRunner := &Runner{Workers: 1}
+	serial := obs.New()
+	for _, job := range jobs {
+		res, simErr := serialRunner.Execute(context.Background(), job)
+		if simErr != nil {
+			t.Fatalf("serial run %s/%s: %v", job.Config.Name, job.Mix.Name(), simErr)
+		}
+		if res.Obs == nil {
+			t.Fatalf("serial run %s/%s returned no telemetry", job.Config.Name, job.Mix.Name())
+		}
+		serial.Merge(res.Obs)
+	}
+
+	parallelRunner := &Runner{Workers: 4}
+	rep := parallelRunner.RunAll(context.Background(), jobs)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("parallel sweep failed: %v", rep.Failures[0])
+	}
+	if rep.Telemetry == nil {
+		t.Fatal("parallel report has no merged telemetry")
+	}
+
+	if !reflect.DeepEqual(serial, rep.Telemetry) {
+		t.Errorf("parallel merge differs from serial:\n serial   %+v\n parallel %+v",
+			serial, rep.Telemetry)
+	}
+
+	// Sanity: the runs actually recorded something.
+	if serial.Cycles == 0 {
+		t.Error("no occupancy samples recorded")
+	}
+	var steers int64
+	for s := range serial.Steer {
+		for _, n := range serial.Steer[s] {
+			steers += n
+		}
+	}
+	if steers == 0 {
+		t.Error("no steer decisions recorded")
+	}
+}
+
+// TestTelemetryOffNoCollector checks the default path stays telemetry-free:
+// no collector on the result and no aggregate on the report.
+func TestTelemetryOffNoCollector(t *testing.T) {
+	job := Job{Config: config.Shelf64(2, true), Mix: testMixes(2, 1)[0], Warmup: 100, Measure: 500}
+	r := &Runner{}
+	res, simErr := r.Execute(context.Background(), job)
+	if simErr != nil {
+		t.Fatalf("run failed: %v", simErr)
+	}
+	if res.Obs != nil {
+		t.Error("telemetry collected with Config.Telemetry unset")
+	}
+	rep := r.RunAll(context.Background(), []Job{job})
+	if rep.Telemetry != nil {
+		t.Error("report telemetry non-nil with Config.Telemetry unset")
+	}
+}

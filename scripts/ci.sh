@@ -8,4 +8,34 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+go vet ./internal/obs/...
 go test -race ./...
+
+# The observability layer's own race gate, run explicitly so a -run filter
+# or test-cache change elsewhere can never hide it: merged telemetry from a
+# multi-worker sweep must equal the serial merge, with no data races.
+go test -race -count=1 -run TestTelemetryParallelMergeMatchesSerial ./internal/runner/...
+
+# Telemetry overhead gate. The telemetry-off hot path differs from the seed
+# only by nil-receiver checks on the collector, so off-vs-on measured in one
+# process is the stable proxy for off-vs-seed (a cross-commit rerun would
+# confound machine noise with the change). Best-of-3 per benchmark filters
+# scheduler noise; fail if the telemetry-off best is slower than 97% of the
+# telemetry-on best — that can only happen through a pathological regression
+# in the off path, since on does strictly more work.
+go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkSimulatorThroughputTelemetry$' \
+    -benchtime 2x -count 3 . | tee /tmp/bench_obs.txt
+awk '
+    /^BenchmarkSimulatorThroughput /          { if ($(NF-1) > off) off = $(NF-1) }
+    /^BenchmarkSimulatorThroughputTelemetry / { if ($(NF-1) > on)  on  = $(NF-1) }
+    END {
+        if (off == 0 || on == 0) { print "missing benchmark output"; exit 1 }
+        overhead = 1 - on / off
+        printf "{\n  \"telemetry_off_insts_per_s\": %.0f,\n  \"telemetry_on_insts_per_s\": %.0f,\n  \"overhead_frac\": %.4f\n}\n", off, on, overhead > "BENCH_obs.json"
+        if (off < on * 0.97) {
+            printf "telemetry-off throughput %.0f below 97%% of telemetry-on %.0f\n", off, on
+            exit 1
+        }
+    }
+' /tmp/bench_obs.txt
+cat BENCH_obs.json
