@@ -1,0 +1,25 @@
+// Shelfvet is the simulator's static-analysis gate: a vet-compatible
+// multichecker of the internal/analysis/checkers analyzers that enforce
+// the repo's determinism and observability invariants at compile review
+// time instead of after a million-cycle sweep diverges.
+//
+// Run it standalone:
+//
+//	go run ./cmd/shelfvet ./...
+//
+// or as a vet tool, which also covers test variants of each package:
+//
+//	go build -o /tmp/shelfvet ./cmd/shelfvet
+//	go vet -vettool=/tmp/shelfvet ./...
+package main
+
+import (
+	"os"
+
+	"shelfsim/internal/analysis"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func main() {
+	os.Exit(analysis.Main(checkers.All(), os.Args[1:]))
+}

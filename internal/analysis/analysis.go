@@ -1,0 +1,239 @@
+// Package analysis is a self-contained static-analysis framework for the
+// simulator: a minimal analogue of golang.org/x/tools/go/analysis built on
+// the standard library only (go/ast + go/types + the go command), so the
+// repo's invariant checkers need no external module. It provides
+//
+//   - the Analyzer/Pass/Diagnostic vocabulary (this file),
+//   - a standalone package loader driven by `go list -export` (load.go),
+//   - the `go vet -vettool` unitchecker protocol (unitchecker.go), and
+//   - a golden-test driver with `// want` comments (analysistest/).
+//
+// The concrete checkers that enforce the simulator's invariants live in
+// internal/analysis/checkers and are wired into one multichecker binary,
+// cmd/shelfvet.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //shelfvet:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description: first line is a summary.
+	Doc string
+	// Run executes the check, reporting findings through pass.Reportf.
+	// A returned error aborts the whole run (it means the analyzer
+	// itself failed, not that the code is in violation).
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// InTestFile reports whether pos falls in a _test.go file. The simulator's
+// determinism invariants police architectural state, not test scaffolding,
+// so most checkers skip test files.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ignoreDirective is the comment prefix that suppresses diagnostics:
+// `//shelfvet:ignore name1,name2` (or bare `//shelfvet:ignore` for all
+// analyzers) on the same line as, or the line directly above, the flagged
+// position. Use it only for individually audited sites; CI has no
+// warn-only mode.
+const ignoreDirective = "//shelfvet:ignore"
+
+// ignoredLines maps "<filename>:<line>" to the set of analyzer names
+// suppressed there ("" = all).
+func ignoredLines(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				names := map[string]bool{}
+				rest = strings.TrimSpace(rest)
+				if rest == "" {
+					names[""] = true
+				}
+				for _, n := range strings.Split(rest, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names[n] = true
+					}
+				}
+				pos := fset.Position(c.Pos())
+				// The directive covers its own line and the next one, so it
+				// works both as a trailing comment and on a line of its own.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					if out[key] == nil {
+						out[key] = map[string]bool{}
+					}
+					for n := range names {
+						out[key][n] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers executes each analyzer over one type-checked package and
+// returns the surviving diagnostics sorted by position, with
+// //shelfvet:ignore suppressions already applied.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	ignored := ignoredLines(fset, files)
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			p := fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+			if s := ignored[key]; s != nil && (s[""] || s[d.Analyzer]) {
+				continue
+			}
+			all = append(all, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// newInfo allocates a types.Info with every map the checkers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// ParseFiles parses the given files (absolute or dir-relative paths) with
+// comments retained, since //shelfvet:ignore directives live in comments.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if dir != "" && !strings.HasPrefix(name, "/") {
+			path = dir + "/" + name
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// exportImporter resolves imports from compiler export data: importMap
+// rewrites source-level paths (vendoring, test variants) and packageFile
+// locates each canonical path's export file, exactly the shape `go vet`
+// and `go list -export` hand us.
+type exportImporter struct {
+	gc          types.Importer
+	importMap   map[string]string
+	packageFile map[string]string
+}
+
+// NewExportImporter builds an importer over importMap/packageFile tables.
+func NewExportImporter(fset *token.FileSet, importMap, packageFile map[string]string) *exportImporter {
+	e := &exportImporter{importMap: importMap, packageFile: packageFile}
+	e.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := e.packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := e.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}
+
+// TypeCheck type-checks one package's parsed files.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

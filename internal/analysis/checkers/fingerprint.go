@@ -1,0 +1,262 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"shelfsim/internal/analysis"
+)
+
+// Fingerprint verifies that every field of the configuration struct is
+// reachable from its Fingerprint method. The harness keys its run cache on
+// the fingerprint — precisely because keying on Name once aliased distinct
+// configurations (the bug PR 1 fixed) — so a Config field that the
+// fingerprint does not hash silently aliases cache entries again: two runs
+// differing only in that field would share a cached result.
+//
+// A field counts as covered when the method (or a same-package function it
+// calls, transitively) selects it, or when the whole struct value escapes
+// the method (e.g. into a reflective formatter), which hashes every field
+// by construction.
+var Fingerprint = &analysis.Analyzer{
+	Name: "fingerprint",
+	Doc:  "require every field of config.Config to be hashed by its Fingerprint method (cache-key completeness)",
+	Run:  runFingerprint,
+}
+
+// fingerprintTypeName and fingerprintFuncName identify the guarded pair: a
+// method named Fingerprint declared on a struct type named Config.
+const (
+	fingerprintTypeName = "Config"
+	fingerprintFuncName = "Fingerprint"
+)
+
+func runFingerprint(pass *analysis.Pass) error {
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != fingerprintFuncName || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			st, recvObj := configReceiver(pass, fd)
+			if st == nil {
+				continue
+			}
+			checkCoverage(pass, fd, st, recvObj, decls)
+		}
+	}
+	return nil
+}
+
+// configReceiver returns the receiver's struct type and object when fd is
+// declared on a named struct type called Config.
+func configReceiver(pass *analysis.Pass, fd *ast.FuncDecl) (*types.Struct, *types.Var) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil, nil
+	}
+	recvIdent := fd.Recv.List[0].Names[0]
+	obj, ok := pass.TypesInfo.Defs[recvIdent].(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != fingerprintTypeName {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return st, obj
+}
+
+// packageFuncDecls indexes this package's function declarations by their
+// type object, so coverage can follow same-package helper calls.
+func packageFuncDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkCoverage walks the fingerprint method (and same-package callees)
+// collecting which Config fields are selected, then reports the misses.
+func checkCoverage(pass *analysis.Pass, fd *ast.FuncDecl, st *types.Struct, recvObj *types.Var, decls map[*types.Func]*ast.FuncDecl) {
+	fields := map[*types.Var]string{}
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = st.Field(i).Name()
+	}
+	covered := map[string]bool{}
+	escaped := false
+
+	visited := map[*ast.FuncDecl]bool{}
+	var walk func(fd *ast.FuncDecl, cfgObjs map[types.Object]bool)
+	walk = func(fd *ast.FuncDecl, cfgObjs map[types.Object]bool) {
+		if fd.Body == nil || visited[fd] {
+			return
+		}
+		visited[fd] = true
+
+		// Track the AST path so a use of the config object can be
+		// classified: selecting a field, receiving a method call, or
+		// escaping whole (which covers every field reflectively).
+		var stack []ast.Node
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := pass.TypesInfo.Selections[n]; sel != nil {
+					if name, ok := fields[originField(sel)]; ok {
+						covered[name] = true
+					}
+				}
+			case *ast.CallExpr:
+				// Follow same-package callees so helpers participate in
+				// coverage. The callee's own receiver/params of Config
+				// type are tracked as config objects too.
+				if fn := calleeFunc(pass, n); fn != nil {
+					if callee, ok := decls[fn]; ok {
+						walk(callee, calleeConfigObjs(pass, callee, st))
+					}
+				}
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[n]
+				if obj == nil || !cfgObjs[obj] {
+					return true
+				}
+				if !identEscapes(stack) {
+					return true
+				}
+				escaped = true
+			}
+			return true
+		})
+	}
+	walk(fd, map[types.Object]bool{recvObj: true})
+
+	if escaped {
+		// The whole struct value reached a formatter/hasher: every field
+		// is covered by construction.
+		return
+	}
+	var missing []string
+	for _, name := range fields {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(fd.Name.Pos(),
+			"config field %s is not hashed by %s: run caches keyed on the fingerprint would alias configurations differing only in %s",
+			name, fingerprintFuncName, name)
+	}
+}
+
+// originField returns the field variable a selection resolves to, nil for
+// method selections.
+func originField(sel *types.Selection) *types.Var {
+	if sel.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := sel.Obj().(*types.Var)
+	return v
+}
+
+// calleeFunc resolves a call expression to its function object when it is
+// a plain function or method call.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeConfigObjs collects the callee's receiver and parameters whose type
+// is (a pointer to) the guarded Config struct, so field selections inside
+// the helper count toward coverage.
+func calleeConfigObjs(pass *analysis.Pass, fd *ast.FuncDecl, st *types.Struct) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				t := obj.Type()
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && named.Underlying() == st {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return objs
+}
+
+// identEscapes classifies a config-object use from its ancestor path: a use
+// whose nearest significant ancestor is a selector (field read or method
+// call receiver) stays contained; anything else (argument, dereference into
+// an argument, assignment, return) lets the whole struct escape.
+func identEscapes(stack []ast.Node) bool {
+	// stack[len-1] is the ident itself; scan outward.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.StarExpr, *ast.UnaryExpr:
+			// Deref or address-of keeps the same value; keep scanning to
+			// see where it flows.
+			continue
+		case *ast.SelectorExpr:
+			// ident (possibly wrapped) is the X of a selector: a field or
+			// method access, not an escape.
+			return !containsNode(parent.X, stack[i+1])
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+// containsNode reports whether needle is within (or is) the expression e.
+func containsNode(e ast.Expr, needle ast.Node) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == needle {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

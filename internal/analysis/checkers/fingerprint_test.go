@@ -1,0 +1,16 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestFingerprint(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Fingerprint,
+		"fingerprint/config", // flagged: field missing from the hash
+		"fingerprint/helper", // clean: coverage follows same-package helpers
+		"fingerprint/escape", // clean: whole-struct escape covers all fields
+	)
+}

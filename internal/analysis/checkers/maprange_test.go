@@ -1,0 +1,15 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Maprange,
+		"maprange/internal/mem", // flagged, plus an audited //shelfvet:ignore site
+		"maprange/clean",        // unpoliced package: map ranges allowed
+	)
+}

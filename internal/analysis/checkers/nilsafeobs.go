@@ -1,0 +1,167 @@
+package checkers
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"shelfsim/internal/analysis"
+)
+
+// Nilsafeobs enforces both halves of the observability layer's nil-receiver
+// contract:
+//
+//  1. In package obs, every exported Record* method on Collector must take
+//     a pointer receiver and begin with the `if c == nil { return }` guard.
+//     The guard is what makes a disabled collector cost a single predicted
+//     branch on the simulator's hot path.
+//  2. At call sites, `if c != nil { c.RecordX(...) }` is flagged: the
+//     methods are nil-safe by contract, and a redundant pre-check both
+//     obscures that contract and invites divergence when a new call site
+//     copies the pattern without the check (or vice versa).
+var Nilsafeobs = &analysis.Analyzer{
+	Name: "nilsafeobs",
+	Doc:  "require nil-receiver guards in obs.Collector Record* methods and forbid redundant nil pre-checks at call sites",
+	Run:  runNilsafeobs,
+}
+
+func runNilsafeobs(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		checkRecordDecls(pass)
+	}
+	checkCallSites(pass)
+	return nil
+}
+
+// isRecordMethod reports whether name is an exported Record* method name.
+func isRecordMethod(name string) bool {
+	return len(name) > len("Record") && name[:len("Record")] == "Record"
+}
+
+// checkRecordDecls verifies each exported Record* method on Collector
+// starts with the nil-receiver guard.
+func checkRecordDecls(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !isRecordMethod(fd.Name.Name) {
+				continue
+			}
+			if pass.InTestFile(fd.Pos()) || !fd.Name.IsExported() {
+				continue
+			}
+			recvType := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+			if recvType == nil || !isPkgNamed(recvType, "obs", "Collector") {
+				continue
+			}
+			if _, ok := recvType.(*types.Pointer); !ok {
+				pass.Reportf(fd.Name.Pos(),
+					"%s must use a pointer receiver: a value receiver cannot honour the nil-collector contract", fd.Name.Name)
+				continue
+			}
+			if len(fd.Recv.List[0].Names) == 0 || fd.Recv.List[0].Names[0].Name == "_" {
+				pass.Reportf(fd.Name.Pos(),
+					"%s must name its receiver and begin with the nil guard `if c == nil { return }`", fd.Name.Name)
+				continue
+			}
+			recvName := fd.Recv.List[0].Names[0].Name
+			if fd.Body == nil || len(fd.Body.List) == 0 || !isNilGuard(fd.Body.List[0], recvName) {
+				pass.Reportf(fd.Name.Pos(),
+					"%s must begin with the nil-receiver guard `if %s == nil { return }`: Record* methods are nil-safe by contract",
+					fd.Name.Name, recvName)
+			}
+		}
+	}
+}
+
+// isNilGuard matches `if recv == nil { return }` (either operand order).
+func isNilGuard(stmt ast.Stmt, recvName string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL || !identNilPair(cond.X, cond.Y, recvName) {
+		return false
+	}
+	if len(ifs.Body.List) != 1 {
+		return false
+	}
+	ret, ok := ifs.Body.List[0].(*ast.ReturnStmt)
+	return ok && len(ret.Results) == 0
+}
+
+// identNilPair reports whether {x, y} is {recvName, nil} in either order.
+func identNilPair(x, y ast.Expr, recvName string) bool {
+	return (isIdent(x, recvName) && isIdent(y, "nil")) ||
+		(isIdent(y, recvName) && isIdent(x, "nil"))
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// checkCallSites flags `if c != nil { c.RecordX(...) }` wrappers whose body
+// consists solely of Record* calls on the checked collector.
+func checkCallSites(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init != nil || ifs.Else != nil || pass.InTestFile(ifs.Pos()) {
+				return true
+			}
+			cond, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok || cond.Op != token.NEQ {
+				return true
+			}
+			checked := cond.X
+			if isIdent(checked, "nil") {
+				checked = cond.Y
+			} else if !isIdent(cond.Y, "nil") {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(checked)
+			if t == nil || !isPkgNamed(t, "obs", "Collector") {
+				return true
+			}
+			if _, ok := t.(*types.Pointer); !ok {
+				return true
+			}
+			if len(ifs.Body.List) == 0 {
+				return true
+			}
+			want := exprString(pass.Fset, checked)
+			for _, stmt := range ifs.Body.List {
+				es, ok := stmt.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !isRecordMethod(sel.Sel.Name) || exprString(pass.Fset, sel.X) != want {
+					return true
+				}
+			}
+			pass.Reportf(ifs.Pos(),
+				"redundant nil check: obs.Collector Record* methods are nil-safe by contract, call %s.%s directly",
+				want, "Record*")
+			return true
+		})
+	}
+}
+
+// exprString renders an expression for syntactic comparison of the checked
+// collector against the call receivers.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

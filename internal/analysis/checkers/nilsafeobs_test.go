@@ -1,0 +1,15 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestNilsafeobs(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Nilsafeobs,
+		"nilsafeobs/obs",    // method declarations: guard required
+		"nilsafeobs/caller", // call sites: redundant pre-checks flagged
+	)
+}

@@ -1,0 +1,15 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestNoglobals(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Noglobals,
+		"noglobals/internal/core", // flagged: the PR-2 race class
+		"noglobals/clean",         // unpoliced package: globals allowed
+	)
+}

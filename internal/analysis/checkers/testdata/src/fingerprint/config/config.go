@@ -1,0 +1,34 @@
+// Package config is a fixture for the fingerprint analyzer: every Config
+// field must reach the fingerprint hash or cache keys alias.
+package config
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Config mirrors the simulator configuration shape.
+type Config struct {
+	Threads int
+	ROB     int
+	Shelf   int
+	Name    string
+}
+
+// Fingerprint forgets Shelf: two configs differing only in shelf capacity
+// would share a cache entry.
+func (c *Config) Fingerprint() string { // want `config field Shelf is not hashed by Fingerprint`
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d %d %q", c.Threads, c.ROB, c.Name)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Other is not named Config: a partial digest here is intentional API.
+type Other struct {
+	A, B int
+}
+
+// Fingerprint on a non-Config type is out of scope.
+func (o *Other) Fingerprint() string {
+	return fmt.Sprintf("%d", o.A)
+}

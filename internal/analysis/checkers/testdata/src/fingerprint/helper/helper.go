@@ -1,0 +1,34 @@
+// Package helper checks that fingerprint coverage follows same-package
+// helper calls: fields hashed by a callee still count.
+package helper
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Config splits its hashing across helpers.
+type Config struct {
+	Threads int
+	ROB     int
+	Shelf   int
+	Name    string
+}
+
+// Fingerprint covers Threads directly and the rest through helpers.
+func (c *Config) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", c.Threads)
+	c.window(h)
+	writeName(h, c)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func (c *Config) window(w io.Writer) {
+	fmt.Fprintf(w, " %d %d", c.ROB, c.Shelf)
+}
+
+func writeName(w io.Writer, cfg *Config) {
+	fmt.Fprintf(w, " %q", cfg.Name)
+}

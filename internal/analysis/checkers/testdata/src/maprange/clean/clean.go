@@ -1,0 +1,11 @@
+// Package clean is outside the deterministic core: map iteration here
+// feeds reports, not architectural state.
+package clean
+
+func Summarize(counts map[string]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,47 @@
+// Package mem is a fixture for the maprange analyzer: map iteration order
+// must not reach architectural state in the simulation path.
+package mem
+
+import "sort"
+
+type cache struct {
+	lines   map[int64]int
+	pending []int64
+}
+
+func (c *cache) drainBad() int {
+	total := 0
+	for addr := range c.lines { // want `range over map of type map\[int64\]int`
+		total += int(addr)
+	}
+	return total
+}
+
+func (c *cache) drainSorted() int {
+	keys := make([]int64, 0, len(c.lines))
+	for k := range c.lines { //shelfvet:ignore maprange
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	total := 0
+	for _, k := range keys {
+		total += c.lines[k]
+	}
+	return total
+}
+
+func (c *cache) drainSlice() int {
+	total := 0
+	for _, addr := range c.pending {
+		total += int(addr)
+	}
+	return total
+}
+
+func literalRange() int {
+	n := 0
+	for k := range map[string]int{"a": 1} { // want `range over map of type map\[string\]int`
+		n += len(k)
+	}
+	return n
+}

@@ -1,0 +1,45 @@
+// Package caller is a fixture for nilsafeobs call-site checking: Record*
+// methods are nil-safe, so pre-checking the collector is redundant.
+package caller
+
+import "nilsafeobs/obs"
+
+type core struct {
+	obs *obs.Collector
+}
+
+func (c *core) tick() {
+	// Redundant single-call wrapper.
+	if c.obs != nil { // want `redundant nil check`
+		c.obs.RecordSteer()
+	}
+
+	// Redundant multi-call wrapper, either operand order.
+	if nil != c.obs { // want `redundant nil check`
+		c.obs.RecordSteer()
+		c.obs.RecordIssue(3)
+	}
+
+	// The contract-following direct call.
+	c.obs.RecordSteer()
+}
+
+func (c *core) mixed(other *obs.Collector) {
+	// Body does more than Record calls: the check is load-bearing.
+	if c.obs != nil {
+		c.obs.RecordSteer()
+		c.obs.Reset()
+	}
+
+	// Check guards a different collector than the one recorded on.
+	if other != nil {
+		c.obs.RecordSteer()
+	}
+
+	// An else branch means the check is a real decision.
+	if c.obs != nil {
+		c.obs.RecordSteer()
+	} else {
+		c.obs = &obs.Collector{}
+	}
+}

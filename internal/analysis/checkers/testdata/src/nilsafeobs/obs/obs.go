@@ -1,0 +1,54 @@
+// Package obs is a fixture mirroring the simulator's observability layer:
+// exported Record* methods on Collector must be nil-safe.
+package obs
+
+// Collector mirrors the real telemetry collector.
+type Collector struct {
+	steers int64
+	issues int64
+}
+
+// RecordSteer has the contract-required guard.
+func (c *Collector) RecordSteer() {
+	if c == nil {
+		return
+	}
+	c.steers++
+}
+
+// RecordSwapped writes the guard with operands reversed; still fine.
+func (c *Collector) RecordSwapped() {
+	if nil == c {
+		return
+	}
+	c.steers++
+}
+
+// RecordIssue forgets the guard.
+func (c *Collector) RecordIssue(delay int64) { // want `RecordIssue must begin with the nil-receiver guard`
+	c.issues += delay
+}
+
+// RecordByValue cannot ever honour the contract.
+func (c Collector) RecordByValue() { // want `RecordByValue must use a pointer receiver`
+	_ = c.steers
+}
+
+// RecordLate guards, but not first, so a new field read slipped above it
+// would crash.
+func (c *Collector) RecordLate() { // want `RecordLate must begin with the nil-receiver guard`
+	c.steers++
+	if c == nil {
+		return
+	}
+}
+
+// recordInternal is unexported: not part of the contract surface.
+func (c *Collector) recordInternal() {
+	c.steers++
+}
+
+// Reset is exported but not Record*: out of scope.
+func (c *Collector) Reset() {
+	c.steers = 0
+}

@@ -1,0 +1,9 @@
+// Package clean is outside the policed deterministic core: package-level
+// variables are allowed here (e.g. CLI flag targets).
+package clean
+
+var Verbose bool
+
+var registry = map[string]int{}
+
+func Register(name string) { registry[name]++ }

@@ -1,0 +1,32 @@
+// Package core is a fixture mirroring the simulator's pipeline package:
+// package-level mutable state is the pre-PR-2 race class.
+package core
+
+import "errors"
+
+var debugCounter int64 // want `package-level variable debugCounter`
+
+var (
+	traceEnabled bool              // want `package-level variable traceEnabled`
+	seen         = map[int64]int{} // want `package-level variable seen`
+)
+
+// ErrStall is still a package variable, and still racy if reassigned.
+var ErrStall = errors.New("stall") // want `package-level variable ErrStall`
+
+// Constants carry no state.
+const maxDepth = 1 << 20
+
+// Blank interface-assertion vars are compile-time checks, not state.
+var _ error = (*invErr)(nil)
+
+type invErr struct{}
+
+func (*invErr) Error() string { return "x" }
+
+// Locals are fine.
+func step() int {
+	var local int
+	local += maxDepth
+	return local
+}

@@ -1,0 +1,9 @@
+// Package clean is outside internal/core: string panics are merely bad
+// taste here, not a supervision hazard, and are left to review.
+package clean
+
+func setup(n int) {
+	if n < 0 {
+		panic("negative size")
+	}
+}

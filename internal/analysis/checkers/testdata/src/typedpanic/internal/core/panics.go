@@ -1,0 +1,55 @@
+// Package core is a fixture for the typedpanic analyzer: pipeline panics
+// must carry typed errors the supervised runner can attribute.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// InvariantError mirrors the simulator's typed panic payload.
+type InvariantError struct {
+	Check string
+	Cycle int64
+}
+
+// Error implements error on the pointer, like the real type.
+func (e *InvariantError) Error() string { return e.Check }
+
+func typed(cycle int64) {
+	panic(&InvariantError{Check: "rob-order", Cycle: cycle}) // ok: *InvariantError implements error
+}
+
+func wrapped() {
+	panic(fmt.Errorf("cycle %d: stall", 3)) // ok: error-typed value
+}
+
+func rethrown(err error) {
+	if err != nil {
+		panic(err) // ok: static type error
+	}
+}
+
+func sentinel() {
+	panic(errors.New("free-list underflow")) // ok: error-typed value
+}
+
+func bareString() {
+	panic("rob out of order") // want `panic argument has type string, which does not implement error`
+}
+
+func sprintf(cycle int64) {
+	panic(fmt.Sprintf("bad cycle %d", cycle)) // want `panic argument has type string`
+}
+
+func number() {
+	panic(42) // want `panic argument has type int`
+}
+
+func valueNotPointer() {
+	panic(InvariantError{Check: "x"}) // want `only \*InvariantError implements error, so panic with the pointer`
+}
+
+func nilPanic() {
+	panic(nil) // want `panic\(nil\) in the pipeline`
+}

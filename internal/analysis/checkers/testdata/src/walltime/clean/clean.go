@@ -1,0 +1,9 @@
+// Package clean is outside the deterministic core: wall-clock use is fine
+// in supervision code (timeouts, profiling).
+package clean
+
+import "time"
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,48 @@
+// Package core is a fixture for the walltime analyzer: simulated time is
+// the cycle counter and randomness flows from the seeded config.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+type core struct {
+	rng   *rand.Rand
+	cycle int64
+}
+
+// newCore seeds explicitly: the approved constructors are allowed.
+func newCore(seed int64) *core {
+	return &core{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (c *core) tick() {
+	// Methods on the seeded generator are deterministic given the seed.
+	if c.rng.Intn(4) == 0 {
+		c.cycle++
+	}
+}
+
+func (c *core) stampBad() int64 {
+	return time.Now().UnixNano() // want `time\.Now in the simulation path`
+}
+
+func (c *core) ageBad(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in the simulation path`
+}
+
+func (c *core) jitterBad() int {
+	return rand.Intn(8) // want `global rand\.Intn in the simulation path`
+}
+
+func (c *core) shuffleBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+func (c *core) waitBad() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in the simulation path`
+}
+
+// Durations are values, not wall-clock reads.
+const timeout = 5 * time.Second

@@ -1,0 +1,15 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestTypedpanic(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Typedpanic,
+		"typedpanic/internal/core", // flagged: bare-string and value panics
+		"typedpanic/clean",         // outside internal/core: unchecked
+	)
+}

@@ -1,0 +1,15 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Walltime,
+		"walltime/internal/core", // flagged: wall clock + global rand
+		"walltime/clean",         // unpoliced supervision code: allowed
+	)
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// unitConfig mirrors the JSON configuration file the go command hands a
+// -vettool for each package it vets (the "unitchecker protocol" of
+// golang.org/x/tools, reimplemented here on the standard library). Fields
+// the shelfvet analyzers never consult are still listed so the decoder is
+// explicit about what the protocol carries.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the multichecker entry point behind cmd/shelfvet. It dispatches
+// on the invocation form the go command uses:
+//
+//	shelfvet -V=full          print a tool id (content-hashed) for go's cache
+//	shelfvet -flags           print supported analyzer flags as JSON (none)
+//	shelfvet <file>.cfg       vet one package (go vet -vettool protocol)
+//	shelfvet [dir] patterns   standalone: go-list, type-check and vet patterns
+//
+// It returns the process exit code: 0 clean, 1 tool failure, 2 diagnostics.
+func Main(analyzers []*Analyzer, args []string) int {
+	var operands []string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return 0
+		case a == "-flags" || a == "--flags":
+			// No analyzer flags: the gate is all-on, no warn-only mode.
+			fmt.Println("[]")
+			return 0
+		case strings.HasPrefix(a, "-"):
+			// Tolerate unknown flags so minor go-command protocol drift
+			// degrades to a no-op instead of failing every vet run.
+			fmt.Fprintf(os.Stderr, "shelfvet: ignoring unknown flag %s\n", a)
+		default:
+			operands = append(operands, a)
+		}
+	}
+	if len(operands) == 1 && strings.HasSuffix(operands[0], ".cfg") {
+		return unitCheck(operands[0], analyzers)
+	}
+	if len(operands) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: shelfvet [-V=full|-flags] <unit.cfg> | <package patterns>")
+		return 1
+	}
+	return standalone(operands, analyzers)
+}
+
+// printVersion emits the `-V=full` line the go command hashes into its
+// action cache: name, toolchain version and a content id of the binary
+// itself, so rebuilding shelfvet invalidates cached vet results.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("shelfvet version %s buildID=%s\n", runtime.Version(), id)
+}
+
+// unitCheck vets one package described by a go-vet config file.
+func unitCheck(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shelfvet: %v\n", err)
+		return 1
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "shelfvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The go command requires the facts file to exist afterwards even
+	// though shelfvet's analyzers exchange no facts; write it up front.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "shelfvet: %v\n", err)
+			return 1
+		}
+	}
+	// Dependency-only visits exist purely to propagate facts; with no
+	// facts there is nothing to do, which also skips type-checking the
+	// entire standard library on every vet sweep.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := ParseFiles(fset, "", cfg.GoFiles)
+	if err != nil {
+		return typecheckFailure(cfg, err)
+	}
+	imp := NewExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, info, err := TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		return typecheckFailure(cfg, err)
+	}
+	diags, err := RunAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shelfvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, FormatDiagnostic(fset, d))
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckFailure honours SucceedOnTypecheckFailure, which the go command
+// sets when the compiler itself will report the errors anyway.
+func typecheckFailure(cfg *unitConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "shelfvet: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}
+
+// standalone loads the patterns itself and vets them: the quick local
+// invocation (`shelfvet ./...`) that needs no go-vet driver.
+func standalone(patterns []string, analyzers []*Analyzer) int {
+	pkgs, err := Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shelfvet: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, p := range pkgs {
+		diags, err := RunAnalyzers(analyzers, p.Fset, p.Files, p.Pkg, p.Info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shelfvet: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, FormatDiagnostic(p.Fset, d))
+			exit = 2
+		}
+	}
+	return exit
+}

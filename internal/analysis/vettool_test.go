@@ -1,0 +1,169 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildShelfvet compiles the multichecker binary once per test run.
+func buildShelfvet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "shelfvet")
+	cmd := exec.Command("go", "build", "-o", bin, "shelfsim/cmd/shelfvet")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building shelfvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// writeTree materializes a file tree under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runVet runs `go vet -vettool=<shelfvet>` in dir and returns combined
+// output plus whether vet failed.
+func runVet(t *testing.T, shelfvet, dir string) (string, bool) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+shelfvet, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	return string(out), err != nil
+}
+
+// TestVettoolGateFailsOnReintroducedViolations is the acceptance test for
+// the CI wiring: deliberately reintroducing the guarded bug classes in a
+// scratch module must make `go vet -vettool=shelfvet` exit nonzero with
+// the analyzers' diagnostics, with no warn-only mode.
+func TestVettoolGateFailsOnReintroducedViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	shelfvet := buildShelfvet(t)
+	mod := t.TempDir()
+	writeTree(t, mod, map[string]string{
+		"go.mod": "module scratchsim\n\ngo 1.22\n",
+		// A mutable package global and a bare-string panic in the core.
+		"internal/core/core.go": `package core
+
+var stallCount int64
+
+func Step(ok bool) {
+	if !ok {
+		panic("pipeline stalled")
+	}
+	stallCount++
+}
+`,
+		// A Config field missing from Fingerprint.
+		"internal/config/config.go": `package config
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+type Config struct {
+	Threads int
+	Shelf   int
+}
+
+func (c *Config) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", c.Threads)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+`,
+	})
+
+	out, failed := runVet(t, shelfvet, mod)
+	if !failed {
+		t.Fatalf("go vet -vettool=shelfvet passed on a module with planted violations\n%s", out)
+	}
+	for _, want := range []string{
+		"package-level variable stallCount",
+		"panic argument has type string",
+		"config field Shelf is not hashed by Fingerprint",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVettoolGatePassesCleanModule is the inverse: the same scratch shapes
+// with the violations repaired must pass the gate.
+func TestVettoolGatePassesCleanModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	shelfvet := buildShelfvet(t)
+	mod := t.TempDir()
+	writeTree(t, mod, map[string]string{
+		"go.mod": "module scratchsim\n\ngo 1.22\n",
+		"internal/core/core.go": `package core
+
+import "fmt"
+
+type Core struct {
+	stallCount int64
+}
+
+type StallError struct{ Cycle int64 }
+
+func (e *StallError) Error() string { return fmt.Sprintf("stalled at %d", e.Cycle) }
+
+func (c *Core) Step(ok bool, cycle int64) {
+	if !ok {
+		panic(&StallError{Cycle: cycle})
+	}
+	c.stallCount++
+}
+`,
+		"internal/config/config.go": `package config
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+type Config struct {
+	Threads int
+	Shelf   int
+}
+
+func (c *Config) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d %d", c.Threads, c.Shelf)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+`,
+	})
+
+	if out, failed := runVet(t, shelfvet, mod); failed {
+		t.Fatalf("go vet -vettool=shelfvet failed on a clean module:\n%s", out)
+	}
+}

@@ -218,12 +218,34 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Fingerprint returns a stable hash of every configuration field. Run
-// caches must key on it rather than on Name: two configurations sharing a
-// name but differing in any field would otherwise silently alias results.
+// FingerprintFieldCount is the number of Config fields Fingerprint hashes.
+// It must track the struct exactly: the shelfvet `fingerprint` analyzer
+// checks the field-by-field coverage statically and a reflection test in
+// internal/harness checks this count (and per-field sensitivity) at run
+// time, so a field added without a fingerprint update fails both gates.
+const FingerprintFieldCount = 33
+
+// Fingerprint returns a stable hash of every configuration field,
+// enumerated explicitly rather than reflectively so coverage is auditable
+// (and statically enforced by shelfvet). Run caches must key on it rather
+// than on Name: two configurations sharing a name but differing in any
+// field would otherwise silently alias results.
 func (c *Config) Fingerprint() string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v", *c)
+	fmt.Fprintf(h, "thr=%d fw=%d w=%d f2d=%d rob=%d iq=%d lq=%d sq=%d prf=%d",
+		c.Threads, c.FetchWidth, c.Width, c.FetchToDispatch,
+		c.ROB, c.IQ, c.LQ, c.SQ, c.PRF)
+	fmt.Fprintf(h, " shelf=%d opt=%t sssr=%t relwb=%t",
+		c.Shelf, c.OptimisticShelf, c.SingleSSR, c.ShelfReleaseAtWriteback)
+	fmt.Fprintf(h, " steer=%d rct=%d plt=%d coarse=%d",
+		c.Steer, c.RCTBits, c.PLTLoads, c.CoarseInterval)
+	fmt.Fprintf(h, " alu=%d muldiv=%d fp=%d memp=%d",
+		c.IntALUs, c.IntMultDiv, c.FPUnits, c.MemPorts)
+	fmt.Fprintf(h, " mem={%+v} branch={%+v} ss={%+v}", c.Mem, c.Branch, c.StoreSets)
+	fmt.Fprintf(h, " ab=%t%t%t%t%t", c.AblateNoSSR, c.AblateNoWAW,
+		c.AblateNoElderStore, c.AblateNoRunCond, c.AblateNoRetireCoord)
+	fmt.Fprintf(h, " tel=%t chk=%t fault=%d name=%q",
+		c.Telemetry, c.CheckInvariants, c.InjectFaultCycle, c.Name)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

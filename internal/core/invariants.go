@@ -218,7 +218,11 @@ func (c *Core) checkThread(t *thread) *InvariantError {
 		return c.inv(t.id, "lsq-capacity", "LSQ over capacity: lq=%d/%d sq=%d/%d",
 			len(t.lq), t.lqCap, len(t.sq), t.sqCap)
 	}
-	for name, q := range map[string][]*uop{"LQ": t.lq, "SQ": t.sq} {
+	for _, part := range [...]struct {
+		name string
+		q    []*uop
+	}{{"LQ", t.lq}, {"SQ", t.sq}} {
+		name, q := part.name, part.q
 		var prev int64 = -1
 		for _, u := range q {
 			if u.seq <= prev {

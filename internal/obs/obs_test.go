@@ -203,3 +203,34 @@ func TestWriteFilePicksFormat(t *testing.T) {
 		t.Errorf("csv file missing header: %q", string(c[:40]))
 	}
 }
+
+// TestMergeNilIdentityAndNoMutation pins the nil contract's semantics, not
+// just its memory safety (the runtime counterpart of the shelfvet
+// nilsafeobs analyzer): merging a nil collector is the identity, and
+// merging into a nil receiver neither materializes a collector nor mutates
+// the argument.
+func TestMergeNilIdentityAndNoMutation(t *testing.T) {
+	src := sample()
+	want := src.Clone()
+
+	// Nil argument: src must be bit-for-bit unchanged.
+	src.Merge(nil)
+	if !reflect.DeepEqual(src, want) {
+		t.Fatalf("Merge(nil) changed the receiver:\n got %+v\nwant %+v", src, want)
+	}
+
+	// Nil receiver: a no-op that must leave the argument untouched.
+	var dst *Collector
+	dst.Merge(src)
+	if !reflect.DeepEqual(src, want) {
+		t.Fatalf("nil.Merge(src) mutated the argument:\n got %+v\nwant %+v", src, want)
+	}
+
+	// Clone of nil stays nil through a merge chain, so a sweep that never
+	// enabled telemetry aggregates to an empty snapshot, not a crash.
+	cloned := dst.Clone()
+	cloned.Merge(src)
+	if cloned != nil {
+		t.Fatalf("nil.Clone().Merge(src) materialized a collector: %+v", cloned)
+	}
+}

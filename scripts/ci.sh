@@ -8,7 +8,18 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go vet ./internal/obs/...
+
+# Project-specific invariants gate. shelfvet is this repo's go/analysis
+# multichecker (see cmd/shelfvet); any diagnostic fails CI — there is no
+# warn-only mode. The binary is built into a stable path so Go's build
+# cache makes repeat runs a no-op link, and -vettool reuses go vet's own
+# package loading (the blanket ./... pattern replaces the old per-package
+# `go vet ./internal/obs/...` invocation).
+SHELFVET="${SHELFVET:-/tmp/shelfsim-tools/shelfvet}"
+mkdir -p "$(dirname "$SHELFVET")"
+go build -o "$SHELFVET" ./cmd/shelfvet
+go vet -vettool="$SHELFVET" ./...
+
 go test -race ./...
 
 # The observability layer's own race gate, run explicitly so a -run filter
