@@ -243,6 +243,23 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "insts/s")
 }
 
+// BenchmarkSimulatorThroughputBase is BenchmarkSimulatorThroughput on the
+// pure OOO baseline configuration — no shelf, no steering — so the perf
+// gate tracks the scheduler and front-end hot path in isolation from the
+// shelf machinery (scripts/ci.sh compares both into BENCH_core.json).
+func BenchmarkSimulatorThroughputBase(b *testing.B) {
+	kernels := []string{"stencil", "gups", "branchy", "matblock"}
+	var retired int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunKernels(Base64(4), kernels, 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired += res.Stats.Retired
+	}
+	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "insts/s")
+}
+
 // BenchmarkSimulatorThroughputTelemetry is BenchmarkSimulatorThroughput
 // with the per-core observability collector enabled; the pair bounds the
 // telemetry overhead (scripts/ci.sh compares them into BENCH_obs.json).

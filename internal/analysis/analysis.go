@@ -76,8 +76,8 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 // ignoreDirective is the comment prefix that suppresses diagnostics:
 // `//shelfvet:ignore name1,name2` (or bare `//shelfvet:ignore` for all
 // analyzers) on the same line as, or the line directly above, the flagged
-// position. Use it only for individually audited sites; CI has no
-// warn-only mode.
+// position. A justification may follow the names after an em-dash. Use it
+// only for individually audited sites; CI has no warn-only mode.
 const ignoreDirective = "//shelfvet:ignore"
 
 // ignoredLines maps "<filename>:<line>" to the set of analyzer names
@@ -93,6 +93,11 @@ func ignoredLines(fset *token.FileSet, files []*ast.File) map[string]map[string]
 				}
 				names := map[string]bool{}
 				rest = strings.TrimSpace(rest)
+				// An inline justification may follow the names after an
+				// em-dash: `//shelfvet:ignore hotalloc — audited growth path`.
+				if i := strings.Index(rest, "—"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
 				if rest == "" {
 					names[""] = true
 				}

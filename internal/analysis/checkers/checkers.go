@@ -22,6 +22,7 @@ func All() []*analysis.Analyzer {
 		Fingerprint,
 		Maprange,
 		Walltime,
+		Hotalloc,
 	}
 }
 

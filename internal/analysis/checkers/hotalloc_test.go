@@ -1,0 +1,15 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Hotalloc,
+		"hotalloc/internal/core", // flagged, plus an audited //shelfvet:ignore site
+		"hotalloc/clean",         // unpoliced package: allocation allowed
+	)
+}

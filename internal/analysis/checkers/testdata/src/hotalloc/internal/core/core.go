@@ -1,0 +1,57 @@
+// Package core is a fixture for the hotalloc analyzer: functions reachable
+// from the cycle loop (Core.Step / Core.Run) must not heap-allocate.
+package core
+
+type uop struct{ seq int64 }
+
+type InvariantError struct{ Check string }
+
+func (e *InvariantError) Error() string { return e.Check }
+
+type Core struct {
+	iq      []*uop
+	free    []*uop
+	scratch []*uop
+}
+
+func (c *Core) Step() {
+	c.fetch()
+	c.issue(len(c.iq))
+}
+
+func (c *Core) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		c.Step()
+	}
+}
+
+func (c *Core) fetch() {
+	u := c.newUop()
+	u.seq = int64(len(c.iq))
+	c.iq = append(c.iq, &uop{seq: u.seq}) // want `composite literal allocates in fetch`
+}
+
+func (c *Core) newUop() *uop {
+	if len(c.free) == 0 {
+		c.free = append(c.free, &uop{}) //shelfvet:ignore hotalloc — audited freelist refill
+	}
+	u := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	return u
+}
+
+func (c *Core) issue(width int) {
+	if width < 0 {
+		panic(&InvariantError{Check: "negative width"}) // error type: cold path, allowed
+	}
+	tmp := make([]*uop, width) // want `make with non-constant size in issue`
+	_ = tmp
+	ids := make([]int64, 4) // constant size: construction-time pattern, allowed
+	_ = ids
+}
+
+// reset is not reachable from the cycle loop: allocation is fine here.
+func (c *Core) reset() {
+	c.iq = make([]*uop, 0, len(c.free))
+	c.scratch = append(c.scratch[:0], &uop{})
+}

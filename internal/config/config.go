@@ -162,6 +162,13 @@ type Config struct {
 	// fault recovery without crashing the process. 0 disables injection.
 	InjectFaultCycle int64
 
+	// RescanScheduler selects the legacy O(window) select loop that rescans
+	// the whole IQ and re-derives source readiness every cycle, instead of
+	// the incremental wakeup–select engine. Timing is identical by
+	// construction (the runner's scheduler differential asserts it); the
+	// rescan path exists for that differential and for debugging.
+	RescanScheduler bool
+
 	// Name labels the configuration in reports.
 	Name string
 }
@@ -223,7 +230,7 @@ func (c *Config) Validate() error {
 // checks the field-by-field coverage statically and a reflection test in
 // internal/harness checks this count (and per-field sensitivity) at run
 // time, so a field added without a fingerprint update fails both gates.
-const FingerprintFieldCount = 33
+const FingerprintFieldCount = 34
 
 // Fingerprint returns a stable hash of every configuration field,
 // enumerated explicitly rather than reflectively so coverage is auditable
@@ -244,8 +251,8 @@ func (c *Config) Fingerprint() string {
 	fmt.Fprintf(h, " mem={%+v} branch={%+v} ss={%+v}", c.Mem, c.Branch, c.StoreSets)
 	fmt.Fprintf(h, " ab=%t%t%t%t%t", c.AblateNoSSR, c.AblateNoWAW,
 		c.AblateNoElderStore, c.AblateNoRunCond, c.AblateNoRetireCoord)
-	fmt.Fprintf(h, " tel=%t chk=%t fault=%d name=%q",
-		c.Telemetry, c.CheckInvariants, c.InjectFaultCycle, c.Name)
+	fmt.Fprintf(h, " tel=%t chk=%t fault=%d rescan=%t name=%q",
+		c.Telemetry, c.CheckInvariants, c.InjectFaultCycle, c.RescanScheduler, c.Name)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

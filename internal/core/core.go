@@ -36,6 +36,26 @@ type Core struct {
 	// iq is the shared unordered issue queue.
 	iq []*uop
 
+	// Incremental wakeup–select engine (sched.go): wakeup holds the
+	// per-tag consumer lists built at dispatch; readyq is the ready set —
+	// dispatched IQ ops whose every wakeup edge has resolved. cycleWakeups
+	// counts consumer wakeups this cycle for telemetry.
+	wakeup       [][]*uop
+	readyq       []*uop
+	cycleWakeups int64
+
+	// Allocation-free hot path: uopFree recycles micro-ops at retire and
+	// squash so steady state allocates nothing per instruction;
+	// squashScratch collects the dead ops of one squash before recycling.
+	uopFree       []*uop
+	squashScratch []*uop
+	// invSeen is the invariant checker's reusable mark vector.
+	invSeen []bool
+
+	// orderedIQRemoval restores the legacy order-preserving IQ deletion;
+	// it exists only for the swap-removal equivalence test.
+	orderedIQRemoval bool
+
 	// events is a min-heap of pending completions ordered by cycle.
 	events eventHeap
 
@@ -104,6 +124,13 @@ func New(cfg config.Config, streams []isa.Stream) (*Core, error) {
 	}
 
 	c.iq = make([]*uop, 0, cfg.IQ)
+	c.wakeup = make([][]*uop, c.numPRIs+c.extSize)
+	c.readyq = make([]*uop, 0, cfg.IQ)
+	c.invSeen = make([]bool, c.numPRIs+c.extSize)
+	windowCap := cfg.ROB + cfg.Shelf + cfg.Threads*cfg.FetchWidth*cfg.FetchToDispatch
+	c.uopFree = make([]*uop, 0, windowCap)
+	c.squashScratch = make([]*uop, 0, windowCap)
+	c.events.h = make([]event, 0, windowCap)
 	c.fuBusyUntil.intMD = make([]int64, cfg.IntMultDiv)
 	c.fuBusyUntil.fp = make([]int64, cfg.FPUnits)
 
@@ -270,6 +297,28 @@ func (c *Core) accumulateOccupancy() {
 	s.SQOccupancy += sq
 	s.ShelfOccupancy += shelf
 	c.obs.RecordOccupancy(iq, rob, shelf, lq, sq, prf)
+	c.obs.RecordSched(int64(len(c.readyq)), c.cycleWakeups)
+	c.cycleWakeups = 0
+}
+
+// newUop takes a micro-op from the freelist, allocating only when the
+// freelist is empty (cold start or window growth after deep squashes).
+func (c *Core) newUop() *uop {
+	if n := len(c.uopFree); n > 0 {
+		u := c.uopFree[n-1]
+		c.uopFree[n-1] = nil
+		c.uopFree = c.uopFree[:n-1]
+		return u
+	}
+	u := &uop{} //shelfvet:ignore hotalloc — freelist growth path, amortized to zero in steady state
+	resetUop(u)
+	return u
+}
+
+// freeUop recycles a micro-op that no live pipeline structure references.
+func (c *Core) freeUop(u *uop) {
+	resetUop(u)
+	c.uopFree = append(c.uopFree, u)
 }
 
 // allocPRI pops a free physical register, or returns -1.

@@ -13,7 +13,7 @@ func (c *Core) DebugDump() string {
 		c.cycle, len(c.iq), len(c.events.h), len(c.freePRI), len(c.freeExt))
 	for _, t := range c.threads {
 		fmt.Fprintf(&b, "thread %d: done=%v fetchSeq=%d pulled=%d fetchQ=%d inflight=%d nextFetch=%d blocked=%v\n",
-			t.id, t.done, t.fetchSeq, t.pulled, len(t.fetchQ), len(t.inflight),
+			t.id, t.done, t.fetchSeq, t.pulled, t.fetchQLen(), len(t.inflight),
 			t.nextFetchCycle, t.fetchBlockedOn != nil)
 		fmt.Fprintf(&b, "  rob[%d,%d) itHead=%d lastIQ=%d shelf[%d,%d) retire=%d ssr(iq=%d shelf=%d)\n",
 			t.robHead, t.robAllocPos, t.itHead, t.lastIQPos,

@@ -24,10 +24,10 @@ func (c *Core) dispatch(now int64) {
 // dispatchOne tries to dispatch thread t's oldest front-end op; it returns
 // false if there is nothing ready or the op stalls on a structural hazard.
 func (c *Core) dispatchOne(t *thread, now int64) bool {
-	if len(t.fetchQ) == 0 || t.fetchQReady[0] > now {
+	if t.fetchQLen() == 0 || t.fetchQFront().frontReadyCycle > now {
 		return false
 	}
-	u := t.fetchQ[0]
+	u := t.fetchQFront()
 
 	// Memory barriers synchronize the pipeline at dispatch (§III-D).
 	if u.inst.Op == isa.OpBarrier && len(t.inflight) > 0 {
@@ -71,8 +71,7 @@ func (c *Core) dispatchOne(t *thread, now int64) bool {
 	}
 
 	// Commit to dispatch: pop the front end and rename.
-	t.fetchQ = t.fetchQ[1:]
-	t.fetchQReady = t.fetchQReady[1:]
+	t.popFetchQ()
 	c.rename(t, u)
 	c.insertWindow(t, u, now)
 	return true
@@ -143,6 +142,7 @@ func (c *Core) insertWindow(t *thread, u *uop, now int64) {
 		// Record the shelf squash index: the index the next shelf
 		// instruction will receive (§III-B).
 		u.shelfSquashIdx = t.shelfTail
+		u.iqIdx = int32(len(c.iq))
 		c.iq = append(c.iq, u)
 		c.stats.IQWrites++
 		c.stats.ROBWrites++
@@ -156,7 +156,7 @@ func (c *Core) insertWindow(t *thread, u *uop, now int64) {
 		}
 		t.steerIQ++
 	}
-	t.inflight = append(t.inflight, u)
+	t.pushInflight(u)
 
 	// Speculation sources (§III-B): branches may mispredict; stores may
 	// trigger memory-order violations when their addresses resolve.
@@ -173,5 +173,11 @@ func (c *Core) insertWindow(t *thread, u *uop, now int64) {
 		u.depStoreSeq = c.ssets.StoreDispatched(c.taggedPC(u), u.gseq)
 	case isa.OpLoad:
 		u.depStoreSeq = c.ssets.LoadDependsOn(c.taggedPC(u))
+	}
+
+	// Wakeup registration (sched.go) — after every dependence edge,
+	// including the store-sets predecessor above, is known.
+	if !u.toShelf {
+		c.registerSched(t, u)
 	}
 }

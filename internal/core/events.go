@@ -100,12 +100,16 @@ func (c *Core) complete(u *uop, now int64) {
 			t.shelfIndexBusy[u.shelfIdx%int64(2*t.shelfCap)] = false
 		}
 		c.stats.SquashedWritebacksFiltered++
+		// The drained op's last reference (this event) is gone: recycle.
+		// Its wakeup edges died with the squash that marked it pending.
+		c.freeUop(u)
 		return
 	}
 
 	u.state = stateCompleted
 	if u.hasDest() {
 		c.tagReady[u.destTag] = true
+		c.wakeTag(u.destTag)
 		c.stats.PRFWrites++
 		c.stats.TagBroadcasts++
 	}
@@ -115,6 +119,7 @@ func (c *Core) complete(u *uop, now int64) {
 	case u.inst.Op.IsMem():
 		if u.inst.Op == isa.OpStore {
 			c.ssets.StoreCompleted(c.taggedPC(u), u.gseq)
+			c.wakeStoreWaiters(u)
 			c.checkViolations(t, u, now)
 		}
 	case u.inst.Op == isa.OpBranch:

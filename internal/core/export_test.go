@@ -24,7 +24,7 @@ func (c *Core) WindowEmpty() bool {
 		return false
 	}
 	for _, t := range c.threads {
-		if len(t.inflight) != 0 || len(t.fetchQ) != 0 {
+		if len(t.inflight) != 0 || t.fetchQLen() != 0 {
 			return false
 		}
 		if t.robHead != t.robAllocPos || t.shelfHead != t.shelfTail {
@@ -33,6 +33,11 @@ func (c *Core) WindowEmpty() bool {
 	}
 	return true
 }
+
+// SetOrderedIQRemoval switches removeFromIQ back to the legacy ordered
+// copy-shift, so tests can prove swap-with-last removal changes no
+// simulation outcome.
+func (c *Core) SetOrderedIQRemoval(v bool) { c.orderedIQRemoval = v }
 
 // RetiredOf returns a thread's retirement count.
 func (c *Core) RetiredOf(tid int) int64 { return c.threads[tid].retired }

@@ -33,29 +33,17 @@ func (c *Core) fetch(now int64) {
 	}
 
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(t.fetchQ) >= t.fetchQCap {
+		if t.fetchQLen() >= t.fetchQCap {
 			return
 		}
 		inst, ok := t.peekInst(t.fetchSeq)
 		if !ok {
 			return
 		}
-		u := &uop{
-			inst:             inst,
-			tid:              t.id,
-			seq:              t.fetchSeq,
-			state:            stateFetched,
-			robPos:           -1,
-			shelfIdx:         -1,
-			archDest:         -1,
-			destPRI:          invalidTag,
-			destTag:          invalidTag,
-			prevPRI:          invalidTag,
-			prevTag:          invalidTag,
-			forwardedFromSeq: -1,
-			depStoreSeq:      -1,
-			pltCol:           -1,
-		}
+		u := c.newUop()
+		u.inst = inst
+		u.tid = t.id
+		u.seq = t.fetchSeq
 		if inst.HasDest() {
 			u.archDest = int32(inst.Dest)
 		}
@@ -77,8 +65,8 @@ func (c *Core) fetch(now int64) {
 				stop = true
 			}
 		}
-		t.fetchQ = append(t.fetchQ, u)
-		t.fetchQReady = append(t.fetchQReady, now+int64(c.cfg.FetchToDispatch))
+		u.frontReadyCycle = now + int64(c.cfg.FetchToDispatch)
+		t.pushFetchQ(u)
 		if stop {
 			return
 		}
@@ -94,7 +82,7 @@ func (c *Core) pickFetchThread(now int64) *thread {
 		if t.done || t.fetchBlockedOn != nil || t.nextFetchCycle > now {
 			continue
 		}
-		if len(t.fetchQ) >= t.fetchQCap {
+		if t.fetchQLen() >= t.fetchQCap {
 			continue
 		}
 		if _, ok := t.peekInst(t.fetchSeq); !ok {
@@ -109,40 +97,59 @@ func (c *Core) pickFetchThread(now int64) *thread {
 }
 
 // peekInst returns the architectural instruction at sequence number seq,
-// pulling from the workload stream (and growing the replay buffer) as
+// pulling from the workload stream (and growing the replay ring) as
 // needed. It returns false once the stream is exhausted.
 func (t *thread) peekInst(seq int64) (isa.Inst, bool) {
 	for t.pulled <= seq {
 		if t.streamDone {
 			return isa.Inst{}, false
 		}
-		var inst isa.Inst
-		if !t.stream.Next(&inst) {
+		// Pull straight into the next ring slot: Next fully overwrites the
+		// Inst, and handing it heap-backed storage keeps the pull loop
+		// allocation-free (a stack temporary would escape through the
+		// interface call). The slot is committed only on success.
+		if t.replayLen == len(t.replayBuf) {
+			t.replayGrow()
+		}
+		e := &t.replayBuf[(t.replayHead+t.replayLen)&(len(t.replayBuf)-1)]
+		if !t.stream.Next(&e.inst) {
 			t.streamDone = true
 			return isa.Inst{}, false
 		}
-		t.replay = append(t.replay, replayEntry{inst: inst, seq: t.pulled})
+		e.seq = t.pulled
+		t.replayLen++
 		t.pulled++
 	}
 	i := seq - t.replayBase
-	if i < 0 || i >= int64(len(t.replay)) {
+	if i < 0 || i >= int64(t.replayLen) {
 		panic(&InvariantError{Check: "replay-range", Cycle: -1, Thread: t.id,
 			Detail: fmt.Sprintf("replay buffer [%d,%d) does not cover sequence %d",
-				t.replayBase, t.replayBase+int64(len(t.replay)), seq)})
+				t.replayBase, t.replayBase+int64(t.replayLen), seq)})
 	}
-	return t.replay[i].inst, true
+	return t.replayBuf[(t.replayHead+int(i))&(len(t.replayBuf)-1)].inst, true
+}
+
+// replayGrow doubles the replay ring, unwrapping it to offset zero.
+func (t *thread) replayGrow() {
+	next := make([]replayEntry, 2*len(t.replayBuf)) //shelfvet:ignore hotalloc — ring doubling, O(log n) occurrences
+	for i := 0; i < t.replayLen; i++ {
+		next[i] = t.replayBuf[(t.replayHead+i)&(len(t.replayBuf)-1)]
+	}
+	t.replayBuf = next
+	t.replayHead = 0
 }
 
 // releaseReplay frees replay entries older than seq (called as
-// instructions fully retire).
+// instructions fully retire). The ring just advances its head.
 func (t *thread) releaseReplay(seq int64) {
 	drop := seq - t.replayBase
 	if drop <= 0 {
 		return
 	}
-	if drop > int64(len(t.replay)) {
-		drop = int64(len(t.replay))
+	if drop > int64(t.replayLen) {
+		drop = int64(t.replayLen)
 	}
-	t.replay = t.replay[drop:]
+	t.replayHead = (t.replayHead + int(drop)) & (len(t.replayBuf) - 1)
+	t.replayLen -= int(drop)
 	t.replayBase += drop
 }

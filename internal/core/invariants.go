@@ -72,6 +72,9 @@ func (c *Core) CheckInvariants() error {
 	if err := c.checkShared(); err != nil {
 		return err
 	}
+	if err := c.checkSched(); err != nil {
+		return err
+	}
 	for _, t := range c.threads {
 		if err := c.checkThread(t); err != nil {
 			return err
@@ -116,7 +119,10 @@ func (c *Core) checkShared() *InvariantError {
 		return c.inv(-1, "freelist-conservation",
 			"extension free list overfull: %d > %d", len(c.freeExt), c.extSize)
 	}
-	seen := make([]bool, c.numPRIs+c.extSize)
+	seen := c.invSeen
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, p := range c.freePRI {
 		if int(p) < c.cfg.Threads*isa.NumArchRegs || int(p) >= c.numPRIs {
 			return c.inv(-1, "freelist-conservation", "free PRI %d outside rename pool", p)
@@ -151,6 +157,92 @@ func (c *Core) checkShared() *InvariantError {
 				return c.inv(t.id, "freelist-conservation",
 					"extension tag %d mapped by r%d while on the free list", t.ratTag[r], r)
 			}
+		}
+	}
+	return nil
+}
+
+// checkSched audits the incremental wakeup–select engine against the IQ:
+// slot indices match, ready-set entries are edge-free dispatched IQ ops,
+// wakeup-list entries are dispatched consumers of an unready tag, and
+// every IQ entry's waitCount equals its registered edges — exactly zero
+// when (and only when) the op sits in the ready set.
+func (c *Core) checkSched() *InvariantError {
+	for _, u := range c.iq {
+		u.auditEdges = 0
+	}
+	for i, u := range c.iq {
+		if int(u.iqIdx) != i {
+			return c.inv(u.tid, "sched-index", "IQ slot %d holds op %v with iqIdx %d", i, u, u.iqIdx)
+		}
+	}
+	if len(c.readyq) > len(c.iq) {
+		return c.inv(-1, "sched-ready", "ready set %d larger than IQ %d", len(c.readyq), len(c.iq))
+	}
+	for i, u := range c.readyq {
+		if int(u.readyIdx) != i {
+			return c.inv(u.tid, "sched-ready", "ready slot %d holds op %v with readyIdx %d", i, u, u.readyIdx)
+		}
+		if u.state != stateDispatched || u.toShelf {
+			return c.inv(u.tid, "sched-ready", "ready set holds %v (state %v)", u, u.state)
+		}
+		if u.waitCount != 0 {
+			return c.inv(u.tid, "sched-ready", "ready op %v still has %d wakeup edges", u, u.waitCount)
+		}
+		if u.iqIdx < 0 || int(u.iqIdx) >= len(c.iq) || c.iq[u.iqIdx] != u {
+			return c.inv(u.tid, "sched-ready", "ready op %v not in the IQ", u)
+		}
+	}
+	for tag := range c.wakeup {
+		waiters := c.wakeup[tag]
+		if len(waiters) == 0 {
+			continue
+		}
+		if c.tagReady[tag] {
+			return c.inv(-1, "sched-wakeup", "ready tag %d has %d registered waiters", tag, len(waiters))
+		}
+		for _, w := range waiters {
+			if w == nil || w.state != stateDispatched || w.toShelf {
+				return c.inv(-1, "sched-wakeup", "tag %d wakeup list holds %v", tag, w)
+			}
+			sources := false
+			for _, src := range w.srcTags {
+				if int(src) == tag {
+					sources = true
+					break
+				}
+			}
+			if !sources {
+				return c.inv(w.tid, "sched-wakeup", "op %v registered on tag %d it does not source", w, tag)
+			}
+			w.auditEdges++
+		}
+	}
+	for _, u := range c.iq {
+		if u.depStore != nil {
+			if u.depStore.completed() {
+				return c.inv(u.tid, "sched-wakeup", "op %v holds a dep edge to completed store t%d#%d",
+					u, u.depStore.tid, u.depStore.seq)
+			}
+			found := false
+			for _, w := range u.depStore.depWaiters {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return c.inv(u.tid, "sched-wakeup", "op %v missing from its dep store's waiter list", u)
+			}
+			u.auditEdges++
+		}
+		if u.auditEdges != u.waitCount {
+			return c.inv(u.tid, "sched-waitcount", "op %v has %d registered edges but waitCount %d",
+				u, u.auditEdges, u.waitCount)
+		}
+		if (u.waitCount == 0) != (u.readyIdx >= 0) {
+			return c.inv(u.tid, "sched-waitcount", "op %v waitCount %d inconsistent with readyIdx %d",
+				u, u.waitCount, u.readyIdx)
 		}
 	}
 	return nil

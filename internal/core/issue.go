@@ -16,7 +16,53 @@ type fuState struct {
 // selection loop re-evaluates eligibility after every issue, which
 // naturally models that bypass. The conservative design checks run
 // eligibility against the cycle-start snapshot of the issue-tracking head.
+//
+// IQ candidates come from the incremental engine's ready set (sched.go):
+// tag readiness is static within a cycle (broadcasts happen in
+// drainEvents, renames after issue), so the ready set — minus entries the
+// reallocated-tag revalidation demotes — equals the rescan scheduler's
+// iqReady set and selection is cycle-exact across both.
 func (c *Core) issue(now int64) {
+	if c.cfg.RescanScheduler {
+		c.issueRescan(now)
+		return
+	}
+	issued := 0
+	var fs fuState
+	for issued < c.cfg.Width {
+		var best *uop
+		for i := 0; i < len(c.readyq); {
+			u := c.readyq[i]
+			if !c.recheckReady(u) {
+				c.demoteStale(u) // swap-removal: re-examine slot i
+				continue
+			}
+			if (best == nil || u.gseq < best.gseq) && c.fuFree(u, now, &fs) {
+				best = u
+			}
+			i++
+		}
+		for _, t := range c.threads {
+			u := t.shelfOldest()
+			if u == nil || (best != nil && u.gseq >= best.gseq) {
+				continue
+			}
+			if c.shelfEligible(t, u, now) && c.fuFree(u, now, &fs) {
+				best = u
+			}
+		}
+		if best == nil {
+			return
+		}
+		c.fuReserve(best, now, &fs)
+		c.issueOne(best, now)
+		issued++
+	}
+}
+
+// issueRescan is the legacy O(window) select loop, kept verbatim behind
+// Config.RescanScheduler for the runner's scheduler differential.
+func (c *Core) issueRescan(now int64) {
 	issued := 0
 	var fs fuState
 	for issued < c.cfg.Width {
@@ -47,7 +93,9 @@ func (c *Core) issue(now int64) {
 // iqReady reports whether IQ entry u may issue at cycle now: all source
 // tags ready and no store-sets-ordering predecessor outstanding (loads
 // wait for their predicted producer store; stores issue in order within
-// their store set, per Chrysos & Emer).
+// their store set, per Chrysos & Emer). Only the rescan scheduler calls
+// this; the incremental engine resolves both conditions through wakeup
+// edges at dispatch.
 func (c *Core) iqReady(u *uop, now int64) bool {
 	for _, tag := range u.srcTags {
 		if tag >= 0 && !c.tagReady[tag] {
@@ -210,6 +258,7 @@ func (c *Core) issueOne(u *uop, now int64) {
 		c.stats.ShelfIssues++
 	} else {
 		c.removeFromIQ(u)
+		c.removeFromReady(u)
 		t.itIssued[u.robPos%int64(t.robCap)] = true
 		t.advanceITHead()
 		c.stats.IQReads++

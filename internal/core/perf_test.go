@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/isa"
+	"shelfsim/internal/workload"
+)
+
+// TestSwapIQRemovalMatchesOrdered proves the O(1) swap-with-last IQ
+// removal is outcome-equivalent to the legacy ordered copy-shift: the
+// issue queue is an unordered reservation pool (age order lives in gseq,
+// not slot position), so the full Result fingerprints must match across
+// every configuration. Run under the incremental scheduler, this also
+// checks that ready-set and wakeup-list bookkeeping is insensitive to IQ
+// slot shuffling.
+func TestSwapIQRemovalMatchesOrdered(t *testing.T) {
+	names := []string{"ptrchase", "ilpmax", "gups", "branchy"}
+	for _, cfg := range allConfigs(4) {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			swap, err := New(cfg, kernelStreams(t, names, 800))
+			if err != nil {
+				t.Fatal(err)
+			}
+			run(t, swap, 2_000_000)
+			ordered, err := New(cfg, kernelStreams(t, names, 800))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ordered.SetOrderedIQRemoval(true)
+			run(t, ordered, 2_000_000)
+			sr, or := swap.Result(), ordered.Result()
+			if a, b := sr.Fingerprint(), or.Fingerprint(); a != b {
+				t.Errorf("swap removal fingerprint %s != ordered %s", a, b)
+			}
+		})
+	}
+}
+
+// benchCore builds a warmed-up core over unbounded kernel streams.
+func benchCore(b *testing.B, cfg config.Config, names []string) *Core {
+	b.Helper()
+	streams := make([]isa.Stream, len(names))
+	for i, name := range names {
+		k, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams[i] = k.NewStream(uint64(i+1)<<32, uint64(i)+1, -1)
+	}
+	c, err := New(cfg, streams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		c.Step()
+	}
+	return c
+}
+
+// BenchmarkIssueStage stresses wakeup–select: a pointer chase serializes
+// one thread (deep wakeup chains, tiny ready set) while ilpmax floods the
+// other with independent ops (wide ready set, selection pressure).
+func BenchmarkIssueStage(b *testing.B) {
+	c := benchCore(b, config.Shelf64(2, true), []string{"ptrchase", "ilpmax"})
+	start := c.Stats().Issues
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+	b.ReportMetric(float64(c.Stats().Issues-start)/float64(b.N), "issues/cycle")
+}
+
+// BenchmarkFetchDispatch stresses the front end and the allocation-free
+// fetch queue / rename path with branch-dense and straight-line streams.
+func BenchmarkFetchDispatch(b *testing.B) {
+	c := benchCore(b, config.Base64(2), []string{"branchy", "ilpmax"})
+	start := c.Stats().Renames
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+	b.ReportMetric(float64(c.Stats().Renames-start)/float64(b.N), "dispatches/cycle")
+}
+
+// TestSteadyStateAllocationFree pins down the tentpole's allocation-free
+// claim: once the uop freelist, replay rings and scratch buffers have
+// grown to steady state, the cycle loop must not allocate at all. The
+// retire targets freeze the per-thread series trackers (whose histogram
+// maps are the one legitimately growing structure) before measurement.
+func TestSteadyStateAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	cfg := config.Shelf64(2, true)
+	streams := make([]isa.Stream, 2)
+	for i, name := range []string{"gups", "stencil"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = k.NewStream(uint64(i+1)<<32, uint64(i)+1, -1)
+	}
+	c, err := New(cfg, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetireTargets(1000, 1000)
+	for c.Cycle() < 20_000 {
+		c.Step()
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 100; i++ {
+			c.Step()
+		}
+	})
+	if avg > 0 {
+		t.Errorf("steady-state cycle loop allocates: %.2f allocs per 100 cycles", avg)
+	}
+}

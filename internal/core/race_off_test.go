@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-count assertions skip under it (instrumentation allocates).
+const raceEnabled = false

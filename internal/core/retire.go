@@ -59,14 +59,14 @@ func (c *Core) retireOne(t *thread, now int64) bool {
 		if len(t.sq) == 0 || t.sq[0] != u {
 			c.fail(t.id, "sq-head", "retiring store %v is not the SQ head", u)
 		}
-		t.sq = t.sq[1:]
+		t.sq = popQueueFront(t.sq)
 		c.hier.StoreCommit(u.inst.Addr, now)
 		t.commitStore(u.inst.Addr>>3, now)
 	case isa.OpLoad:
 		if len(t.lq) == 0 || t.lq[0] != u {
 			c.fail(t.id, "lq-head", "retiring load %v is not the LQ head", u)
 		}
-		t.lq = t.lq[1:]
+		t.lq = popQueueFront(t.lq)
 	}
 	return true
 }
@@ -111,10 +111,19 @@ func (c *Core) pruneRetired(t *thread, now int64) {
 		i++
 	}
 	if i > 0 {
+		// Recycle the pruned ops — nothing references a fully retired
+		// instruction (its event fired, its LSQ entries popped, its PLT
+		// column cleared at completion) — and slice the window forward in
+		// O(1); pushInflight slides it back when the backing array's tail
+		// is reached.
+		for j := 0; j < i; j++ {
+			c.freeUop(t.inflight[j])
+			t.inflight[j] = nil
+		}
 		t.inflight = t.inflight[i:]
 		t.releaseReplay(t.inflight0Seq())
 	}
-	if !t.done && t.streamDone && len(t.inflight) == 0 && len(t.fetchQ) == 0 {
+	if !t.done && t.streamDone && len(t.inflight) == 0 && t.fetchQLen() == 0 {
 		if _, ok := t.peekInst(t.fetchSeq); !ok {
 			t.done = true
 			t.finishCycle = now
@@ -128,8 +137,16 @@ func (t *thread) inflight0Seq() int64 {
 	if len(t.inflight) > 0 {
 		return t.inflight[0].seq
 	}
-	if len(t.fetchQ) > 0 && t.fetchQ[0].seq < t.fetchSeq {
-		return t.fetchQ[0].seq
+	if t.fetchQLen() > 0 && t.fetchQFront().seq < t.fetchSeq {
+		return t.fetchQFront().seq
 	}
 	return t.fetchSeq
+}
+
+// popQueueFront removes q's head in place (copy-down keeps the backing
+// array stable; the partitions are at most a handful of entries).
+func popQueueFront(q []*uop) []*uop {
+	n := copy(q, q[1:])
+	q[n] = nil
+	return q[:n]
 }

@@ -1,0 +1,192 @@
+package core
+
+// Incremental wakeup–select engine. The rescan scheduler re-derives every
+// IQ entry's source readiness each cycle; this engine mirrors the paper's
+// tag-broadcast wakeup instead: at dispatch an op registers one wakeup
+// edge per unready source tag (c.wakeup[tag]) plus one edge for an
+// unresolved store-sets predecessor (producer's depWaiters). Each edge
+// resolution decrements waitCount; at zero the op enters the ready set
+// (c.readyq) and select never touches the rest of the IQ.
+//
+// One hazard keeps select honest: a tag can become unready *again* after
+// broadcasting. Shelf writeback frees the previous extension tag
+// (§III-C), the LIFO free list hands it straight to a new writer, and
+// rename marks it unready — while an elder reader that consumed the
+// broadcast may still sit in the ready set. The rescan scheduler re-stalls
+// such a reader, so select revalidates source tags and demotes stale
+// entries back onto the wakeup lists (demoteStale). Store-sets edges
+// cannot go stale: gseq stamps are unique and completion is monotone.
+
+// registerSched builds u's wakeup edges at dispatch (IQ side only; shelf
+// ops keep their per-cycle head checks). Call after depStoreSeq is set.
+func (c *Core) registerSched(t *thread, u *uop) {
+	for _, tag := range u.srcTags {
+		if tag >= 0 && !c.tagReady[tag] {
+			c.wakeup[tag] = append(c.wakeup[tag], u)
+			u.waitCount++
+		}
+	}
+	if u.inst.Op.IsMem() && u.depStoreSeq >= 0 {
+		if ds := t.findDepStore(u.depStoreSeq, u.seq); ds != nil && !ds.completed() {
+			u.depStore = ds
+			ds.depWaiters = append(ds.depWaiters, u)
+			u.waitCount++
+		}
+	}
+	if u.waitCount == 0 {
+		c.pushReady(u)
+	}
+}
+
+// findDepStore locates the in-flight op with global stamp gseq elder than
+// sequence number before, or nil if it already left the window. inflight
+// is dispatch-ordered, so gseq is ascending and the backward walk from the
+// tail stops as soon as it passes the stamp.
+func (t *thread) findDepStore(gseq int64, before int64) *uop {
+	for i := len(t.inflight) - 1; i >= 0; i-- {
+		v := t.inflight[i]
+		if v.gseq < gseq {
+			return nil
+		}
+		if v.gseq == gseq && v.seq < before {
+			return v
+		}
+	}
+	return nil
+}
+
+// pushReady appends u to the ready set.
+func (c *Core) pushReady(u *uop) {
+	u.readyIdx = int32(len(c.readyq))
+	c.readyq = append(c.readyq, u)
+}
+
+// removeFromReady swap-removes u from the ready set; no-op if absent.
+func (c *Core) removeFromReady(u *uop) {
+	i := int(u.readyIdx)
+	if i < 0 {
+		return
+	}
+	last := len(c.readyq) - 1
+	c.readyq[i] = c.readyq[last]
+	c.readyq[i].readyIdx = int32(i)
+	c.readyq[last] = nil
+	c.readyq = c.readyq[:last]
+	u.readyIdx = -1
+}
+
+// wakeTag broadcasts tag: every consumer registered on it loses one wakeup
+// edge, entering the ready set when its last edge resolves. The list is
+// truncated in place so the tag's next rename epoch reuses the array.
+func (c *Core) wakeTag(tag int32) {
+	waiters := c.wakeup[tag]
+	if len(waiters) == 0 {
+		return
+	}
+	for i, w := range waiters {
+		waiters[i] = nil
+		c.cycleWakeups++
+		if w.state != stateDispatched {
+			c.fail(w.tid, "wakeup-state", "tag %d woke op %v in state %v", tag, w, w.state)
+		}
+		w.waitCount--
+		if w.waitCount == 0 {
+			c.pushReady(w)
+		}
+	}
+	c.wakeup[tag] = waiters[:0]
+}
+
+// wakeStoreWaiters resolves the store-sets edges hanging off completed
+// store u.
+func (c *Core) wakeStoreWaiters(u *uop) {
+	for i, w := range u.depWaiters {
+		u.depWaiters[i] = nil
+		c.cycleWakeups++
+		if w.state != stateDispatched {
+			c.fail(w.tid, "wakeup-state", "store t%d#%d woke op %v in state %v", u.tid, u.seq, w, w.state)
+		}
+		w.depStore = nil
+		w.waitCount--
+		if w.waitCount == 0 {
+			c.pushReady(w)
+		}
+	}
+	u.depWaiters = u.depWaiters[:0]
+}
+
+// unregisterSched detaches a squashed op from the engine: from the ready
+// set if it got there, otherwise from each wakeup list it still occupies.
+// List membership corresponds exactly to outstanding edges, so the removal
+// count must match waitCount.
+func (c *Core) unregisterSched(u *uop) {
+	if u.readyIdx >= 0 {
+		c.removeFromReady(u)
+		u.waitCount = 0
+		return
+	}
+	removed := int32(0)
+	for _, tag := range u.srcTags {
+		if tag >= 0 && !c.tagReady[tag] && c.removeWaiter(tag, u) {
+			removed++
+		}
+	}
+	if u.depStore != nil {
+		dw := u.depStore.depWaiters
+		for i, w := range dw {
+			if w == u {
+				dw[i] = dw[len(dw)-1]
+				dw[len(dw)-1] = nil
+				u.depStore.depWaiters = dw[:len(dw)-1]
+				removed++
+				break
+			}
+		}
+		u.depStore = nil
+	}
+	if removed != u.waitCount {
+		c.fail(u.tid, "sched-unreg", "op %v held %d wakeup edges but waitCount=%d", u, removed, u.waitCount)
+	}
+	u.waitCount = 0
+}
+
+// removeWaiter swap-removes one occurrence of u from wakeup[tag].
+func (c *Core) removeWaiter(tag int32, u *uop) bool {
+	l := c.wakeup[tag]
+	for i, w := range l {
+		if w == u {
+			l[i] = l[len(l)-1]
+			l[len(l)-1] = nil
+			c.wakeup[tag] = l[:len(l)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// recheckReady revalidates a ready-set entry's source tags at select time
+// (the reallocated-tag hazard above). Store-sets edges are stable and need
+// no recheck.
+func (c *Core) recheckReady(u *uop) bool {
+	for _, tag := range u.srcTags {
+		if tag >= 0 && !c.tagReady[tag] {
+			return false
+		}
+	}
+	return true
+}
+
+// demoteStale moves a ready-set entry whose source tag went unready again
+// back onto the wakeup lists of exactly the currently-unready tags.
+func (c *Core) demoteStale(u *uop) {
+	c.removeFromReady(u)
+	for _, tag := range u.srcTags {
+		if tag >= 0 && !c.tagReady[tag] {
+			c.wakeup[tag] = append(c.wakeup[tag], u)
+			u.waitCount++
+		}
+	}
+	if u.waitCount == 0 {
+		c.fail(u.tid, "sched-demote", "demoted op %v has no unready source", u)
+	}
+}

@@ -11,18 +11,19 @@ func (c *Core) squash(t *thread, fromSeq int64, now int64) {
 	c.stats.Squashes++
 
 	// Front end: drop fetched-but-undispatched ops (fetchQ is in order).
-	cut := len(t.fetchQ)
-	for i, u := range t.fetchQ {
-		if u.seq >= fromSeq {
+	cut := t.fetchQN
+	for i := 0; i < t.fetchQN; i++ {
+		if t.fetchQAt(i).seq >= fromSeq {
 			cut = i
 			break
 		}
 	}
-	for _, u := range t.fetchQ[cut:] {
+	for i := cut; i < t.fetchQN; i++ {
+		u := t.fetchQAt(i)
 		u.state = stateSquashed
+		c.squashScratch = append(c.squashScratch, u)
 	}
-	t.fetchQ = t.fetchQ[:cut]
-	t.fetchQReady = t.fetchQReady[:cut]
+	t.truncFetchQ(cut)
 
 	// Window: walk inflight youngest-first.
 	minROBPos := int64(-1)
@@ -83,6 +84,16 @@ func (c *Core) squash(t *thread, fromSeq int64, now int64) {
 	}
 
 	c.steerer.OnSquash(c, t, fromSeq)
+
+	// Recycle the squash's dead ops only now: the steerer's rollback above
+	// (PLT columns, tracked loads) was their last outside reference. Ops
+	// squashed in flight (squashPending) recycle when their writeback
+	// drains instead.
+	for i, u := range c.squashScratch {
+		c.squashScratch[i] = nil
+		c.freeUop(u)
+	}
+	c.squashScratch = c.squashScratch[:0]
 }
 
 // squashOne removes one window entry, rolling back its rename mappings.
@@ -110,11 +121,13 @@ func (c *Core) squashOne(t *thread, u *uop, minROBPos, minShelfIdx *int64) {
 			}
 		} else {
 			c.removeFromIQ(u)
+			c.unregisterSched(u)
 			if *minROBPos < 0 || u.robPos < *minROBPos {
 				*minROBPos = u.robPos
 			}
 		}
 		u.state = stateSquashed
+		c.squashScratch = append(c.squashScratch, u)
 	case stateIssued:
 		// In flight: filter at writeback. The shelf index may not be
 		// reallocated until the op drains (§III-B).
@@ -132,6 +145,7 @@ func (c *Core) squashOne(t *thread, u *uop, minROBPos, minShelfIdx *int64) {
 		// back). Retired/completed shelf ops cannot be squashed: they
 		// write back only once non-speculative.
 		u.state = stateSquashed
+		c.squashScratch = append(c.squashScratch, u)
 		if !u.toShelf && (*minROBPos < 0 || u.robPos < *minROBPos) {
 			*minROBPos = u.robPos
 		}
@@ -143,18 +157,35 @@ func (c *Core) squashOne(t *thread, u *uop, minROBPos, minShelfIdx *int64) {
 	}
 }
 
-// removeFromIQ deletes u from the shared issue queue.
+// removeFromIQ deletes u from the shared issue queue by its cached slot
+// index, swapping the last entry into the hole: selection compares gseq,
+// not slice order, so ordering is not load-bearing. The order-preserving
+// shift survives behind the orderedIQRemoval test hook, which the
+// swap-equivalence test uses to prove results identical.
 func (c *Core) removeFromIQ(u *uop) {
-	for i, v := range c.iq {
-		if v == u {
-			c.iq = append(c.iq[:i], c.iq[i+1:]...)
-			return
-		}
+	i := int(u.iqIdx)
+	if i < 0 || i >= len(c.iq) || c.iq[i] != u {
+		c.fail(u.tid, "iq-missing", "dispatched IQ op %v missing from issue queue", u)
 	}
-	c.fail(u.tid, "iq-missing", "dispatched IQ op %v missing from issue queue", u)
+	last := len(c.iq) - 1
+	if c.orderedIQRemoval {
+		copy(c.iq[i:], c.iq[i+1:])
+		c.iq[last] = nil
+		c.iq = c.iq[:last]
+		for j := i; j < last; j++ {
+			c.iq[j].iqIdx = int32(j)
+		}
+	} else {
+		c.iq[i] = c.iq[last]
+		c.iq[i].iqIdx = int32(i)
+		c.iq[last] = nil
+		c.iq = c.iq[:last]
+	}
+	u.iqIdx = -1
 }
 
-// truncateQueue drops the suffix of q with seq >= fromSeq.
+// truncateQueue drops the suffix of q with seq >= fromSeq, clearing the
+// dropped slots so recycled uops are not retained past their lifetime.
 func truncateQueue(q []*uop, fromSeq int64) []*uop {
 	cut := len(q)
 	for i, u := range q {
@@ -162,6 +193,9 @@ func truncateQueue(q []*uop, fromSeq int64) []*uop {
 			cut = i
 			break
 		}
+	}
+	for i := cut; i < len(q); i++ {
+		q[i] = nil
 	}
 	return q[:cut]
 }

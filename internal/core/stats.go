@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"hash/fnv"
+
 	"shelfsim/internal/isa"
 	"shelfsim/internal/mem"
 	"shelfsim/internal/metrics"
@@ -105,6 +108,27 @@ type Result struct {
 	L2      mem.CacheStats
 	// Obs is a copy of the run's telemetry (nil unless Config.Telemetry).
 	Obs *obs.Collector
+}
+
+// Fingerprint hashes every deterministic outcome of the run: cycle count,
+// the full counter set, cache statistics and each thread's scalars. The
+// Series and Obs pointers are observation views, not outcomes, and are
+// excluded. Two runs of the same workload under timing-equivalent
+// schedulers must produce identical fingerprints — the runner's scheduler
+// differential asserts exactly that.
+func (r *Result) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "cfg=%s cycles=%d stats=%+v", r.Config, r.Cycles, r.Stats)
+	fmt.Fprintf(h, " l1i=%+v l1d=%+v l2=%+v", r.L1I, r.L1D, r.L2)
+	for i := range r.Threads {
+		t := &r.Threads[i]
+		fmt.Fprintf(h, " t%d={%s %d %d %d %.17g %.17g %.17g %d %d %d %d %d %d %d}",
+			i, t.Workload, t.Retired, t.Fetched, t.FinishCycle,
+			t.CPI, t.InSeqFraction, t.ShelfFraction,
+			t.SteerShelf, t.SteerIQ, t.Squashes, t.Mispredicts,
+			t.MemViolations, t.LoadForwards, t.StoreCoalesce)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Stats returns a copy of the core-wide counters.

@@ -76,7 +76,7 @@ func (practicalSteerer) Steer(c *Core, t *thread, u *uop, now int64) bool {
 		if src == isa.RegInvalid || src == isa.RegZero {
 			continue
 		}
-		if r := rct.Ready(int(src)); r > srcMax {
+		if r := rct.Ready(int(src), now); r > srcMax {
 			srcMax = r
 		}
 		srcRow |= t.plt.Row(int(src))
@@ -123,7 +123,7 @@ func (practicalSteerer) Steer(c *Core, t *thread, u *uop, now int64) bool {
 
 	// Update predictions.
 	if u.hasDest() {
-		rct.SetReady(int(u.archDest), completeChosen)
+		rct.SetReady(int(u.archDest), now, completeChosen)
 		c.stats.RCTWrites++
 	}
 	if abs := now + int64(issueChosen); abs > t.earliestIssue {
@@ -173,7 +173,11 @@ func (practicalSteerer) Tick(c *Core) {
 				t.plt.MarkLate(col)
 			}
 		}
-		t.rct.Tick(t.plt.Frozen)
+		// With absolute ready cycles the RCT only needs a tick while the
+		// PLT has late columns — on every other cycle Frozen is uniformly
+		// false and the unfrozen countdowns advance for free. TickPLT
+		// short-circuits that case itself.
+		t.rct.TickPLT(c.cycle, t.plt)
 		// Freeze the shelf-side trackers while any tracked load is late
 		// (§IV-B schedule recovery): the shelf is a FIFO, so once a late
 		// load's dependence tree is shelved, everything dispatched to the

@@ -77,8 +77,12 @@ type thread struct {
 	pred *branch.Predictor
 
 	// Replay buffer: fetched but unretired instructions, so squashes can
-	// refetch. replay[0] has sequence number replayBase.
-	replay     []replayEntry
+	// refetch. A power-of-two ring: entry replayBase lives at replayHead,
+	// replayLen entries follow. Pointerless, so advancing the head is the
+	// whole release path (no re-slicing, no reallocation churn).
+	replayBuf  []replayEntry
+	replayHead int
+	replayLen  int
 	replayBase int64
 	// fetchSeq is the next sequence number the front end will fetch
 	// (rewound by squashes).
@@ -94,16 +98,22 @@ type thread struct {
 	fetchBlockedOn *uop
 
 	// fetchQ is the front-end pipeline: fetched micro-ops waiting to
-	// dispatch, each dispatchable FetchToDispatch cycles after fetch.
-	fetchQ []*uop
-	// fetchQReady holds the cycle at which the matching fetchQ entry
-	// reaches the dispatch stage.
-	fetchQReady []int64
-	fetchQCap   int
+	// dispatch, each dispatchable at its frontReadyCycle. A ring of fixed
+	// size fetchQCap (the fetch loop bounds occupancy to the capacity, so
+	// it never grows): fetchQN entries starting at fetchQHead.
+	fetchQ     []*uop
+	fetchQHead int
+	fetchQN    int
+	fetchQCap  int
 
 	// inflight lists dispatched, not-yet-fully-retired micro-ops in
-	// program order (both IQ and shelf).
-	inflight []*uop
+	// program order (both IQ and shelf). It is a window into inflightBuf:
+	// pruning retired ops re-slices the front off in O(1), and pushInflight
+	// slides the window back to offset zero only when the tail of the
+	// backing array is reached — one amortized pointer move per op instead
+	// of a bulk copy per retire cycle.
+	inflight    []*uop
+	inflightBuf []*uop
 
 	// Rename state: architectural register -> (physical register, tag).
 	ratPRI []int32
@@ -245,6 +255,10 @@ func newThread(c *Core, id int, stream isa.Stream) *thread {
 	}
 	t.lq = make([]*uop, 0, t.lqCap)
 	t.sq = make([]*uop, 0, t.sqCap)
+	t.fetchQ = make([]*uop, t.fetchQCap)
+	t.inflightBuf = make([]*uop, t.robCap+2*t.shelfCap+8)
+	t.inflight = t.inflightBuf[:0]
+	t.replayBuf = make([]replayEntry, 256)
 	t.rct = steer.NewRCT(isa.NumArchRegs, cfg.RCTBits)
 	t.plt = steer.NewPLT(isa.NumArchRegs, cfg.PLTLoads)
 	t.pltLoads = make([]*uop, cfg.PLTLoads)
@@ -261,7 +275,62 @@ func newThread(c *Core, id int, stream isa.Stream) *thread {
 
 // icount is the ICOUNT fetch-policy occupancy metric: instructions in the
 // front end plus the window.
-func (t *thread) icount() int { return len(t.fetchQ) + len(t.inflight) }
+func (t *thread) icount() int { return t.fetchQLen() + len(t.inflight) }
+
+// fetchQLen is the number of queued front-end micro-ops.
+func (t *thread) fetchQLen() int { return t.fetchQN }
+
+// fetchQFront is the oldest queued micro-op; callers check fetchQLen.
+func (t *thread) fetchQFront() *uop { return t.fetchQ[t.fetchQHead] }
+
+// fetchQAt returns the i-th queued micro-op (0 = front).
+func (t *thread) fetchQAt(i int) *uop {
+	return t.fetchQ[(t.fetchQHead+i)%t.fetchQCap]
+}
+
+// popFetchQ removes the queue front.
+func (t *thread) popFetchQ() {
+	t.fetchQ[t.fetchQHead] = nil
+	t.fetchQHead = (t.fetchQHead + 1) % t.fetchQCap
+	t.fetchQN--
+}
+
+// pushFetchQ appends u at the ring tail; the fetch loop bounds occupancy
+// to fetchQCap, so the slot is always free.
+func (t *thread) pushFetchQ(u *uop) {
+	t.fetchQ[(t.fetchQHead+t.fetchQN)%t.fetchQCap] = u
+	t.fetchQN++
+}
+
+// truncFetchQ drops all but the first keep entries (squash path; the
+// dropped suffix is youngest-last and the caller has already recycled it).
+func (t *thread) truncFetchQ(keep int) {
+	for i := keep; i < t.fetchQN; i++ {
+		t.fetchQ[(t.fetchQHead+i)%t.fetchQCap] = nil
+	}
+	t.fetchQN = keep
+}
+
+// pushInflight appends a dispatched op to the in-flight window, sliding
+// the window back to the front of its backing array when the tail is
+// reached (amortized O(1) per op).
+func (t *thread) pushInflight(u *uop) {
+	if len(t.inflight) == cap(t.inflight) {
+		buf := t.inflightBuf
+		if len(t.inflight) >= len(buf) {
+			// The architectural sizing (ROB + doubled shelf index space)
+			// should make this unreachable; grow rather than fail.
+			buf = make([]*uop, 2*len(buf)) //shelfvet:ignore hotalloc — cold resize of the in-flight backing array
+			t.inflightBuf = buf
+		}
+		n := copy(buf, t.inflight)
+		for i := n; i < len(buf); i++ {
+			buf[i] = nil
+		}
+		t.inflight = buf[:n]
+	}
+	t.inflight = append(t.inflight, u)
+}
 
 // robFree reports free ROB partition entries.
 func (t *thread) robFree() bool { return t.robAllocPos-t.robHead < int64(t.robCap) }

@@ -139,6 +139,56 @@ type uop struct {
 	// inSeq is the §II classification captured at issue: true if the op
 	// issued in sequence (see core.classifyAtIssue).
 	inSeq bool
+
+	// Incremental scheduler state (see sched.go). iqIdx is the op's current
+	// slot in the shared IQ slice (-1 when not in the IQ); readyIdx is its
+	// slot in the ready set (-1 when not ready). waitCount is the number of
+	// unresolved wakeup edges (unready source tags plus an unresolved
+	// dep-store edge); the op enters the ready set when it reaches zero.
+	iqIdx     int32
+	readyIdx  int32
+	waitCount int32
+	// auditEdges is scratch for the invariant checker's wakeup audit; it
+	// carries no scheduling state.
+	auditEdges int32
+	// depStore is the store-set dependence target resolved once at dispatch
+	// (replacing the per-cycle inflight walk over depStoreSeq); nil when
+	// there is none or it has already completed. depWaiters is the inverse
+	// edge list: loads registered on this store's completion.
+	depStore   *uop
+	depWaiters []*uop
+	// frontReadyCycle is the cycle this op becomes visible to dispatch
+	// (fetch cycle + front-end depth); it rides on the uop so the fetch
+	// queue needs no parallel ready-cycle slice.
+	frontReadyCycle int64
+}
+
+// resetUop returns a uop to its just-allocated state, preserving the
+// depWaiters backing array for reuse. Every sentinel here must match the
+// composite literal fetch used before the freelist existed.
+func resetUop(u *uop) {
+	dw := u.depWaiters
+	for i := range dw {
+		dw[i] = nil
+	}
+	*u = uop{
+		depWaiters:       dw[:0],
+		robPos:           -1,
+		shelfIdx:         -1,
+		archDest:         -1,
+		destPRI:          invalidTag,
+		destTag:          invalidTag,
+		prevPRI:          invalidTag,
+		prevTag:          invalidTag,
+		forwardedFromSeq: -1,
+		depStoreSeq:      -1,
+		pltCol:           -1,
+		iqIdx:            -1,
+		readyIdx:         -1,
+	}
+	for i := range u.srcTags {
+		u.srcTags[i] = invalidTag
+	}
 }
 
 // issued reports whether the op has left the scheduling window.

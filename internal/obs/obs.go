@@ -131,6 +131,10 @@ type Collector struct {
 	Squashes [NumSquashCauses]int64
 	// Stage-occupancy gauges, sampled once per cycle.
 	IQ, ROB, Shelf, LQ, SQ, PRF Gauge
+	// Scheduler gauges, sampled once per cycle: Ready is the wakeup–select
+	// engine's ready-set occupancy, Wakeups the consumer wakeups delivered
+	// that cycle (tag broadcasts plus store-sets edge resolutions).
+	Ready, Wakeups Gauge
 }
 
 // New returns an empty collector.
@@ -207,6 +211,16 @@ func (c *Collector) RecordOccupancy(iq, rob, shelf, lq, sq, prf int64) {
 	c.PRF.Observe(prf)
 }
 
+// RecordSched samples the scheduler's ready-set occupancy and the cycle's
+// delivered wakeups.
+func (c *Collector) RecordSched(ready, wakeups int64) {
+	if c == nil {
+		return
+	}
+	c.Ready.Observe(ready)
+	c.Wakeups.Observe(wakeups)
+}
+
 // Merge folds another collector's telemetry into c. Merging is commutative
 // and associative, so a sweep may fold per-run collectors in any order;
 // gauge means stay exact (sums and sample counts add) while Max becomes the
@@ -238,6 +252,8 @@ func (c *Collector) Merge(o *Collector) {
 	c.LQ.merge(&o.LQ)
 	c.SQ.merge(&o.SQ)
 	c.PRF.merge(&o.PRF)
+	c.Ready.merge(&o.Ready)
+	c.Wakeups.merge(&o.Wakeups)
 }
 
 // Clone returns an independent copy (a Collector is all value fields).
@@ -322,6 +338,7 @@ func (c *Collector) Snapshot() Snapshot {
 	}{
 		{"iq", &c.IQ}, {"rob", &c.ROB}, {"shelf", &c.Shelf},
 		{"lq", &c.LQ}, {"sq", &c.SQ}, {"prf", &c.PRF},
+		{"ready", &c.Ready}, {"wakeups", &c.Wakeups},
 	} {
 		if g.gauge.Samples != 0 {
 			s.Occupancy[g.name] = OccupancySummary{Mean: g.gauge.Mean(), Max: g.gauge.Max}

@@ -34,6 +34,54 @@ func (r *Runner) Differential(ctx context.Context, a, b config.Config, mix workl
 	return nil
 }
 
+// SchedulerDifferential validates that the incremental wakeup–select
+// engine (sched.go) is cycle-exact against the legacy rescan scheduler:
+// the same mix runs once per scheduler over identical bounded streams and
+// the complete Result fingerprints — cycle count, the full counter set,
+// cache statistics, per-thread scalars — must be bit-identical. Any
+// timing divergence between the two select loops shows up here.
+func (r *Runner) SchedulerDifferential(ctx context.Context, cfg config.Config, mix workload.Mix, insts int64) error {
+	inc := cfg
+	inc.RescanScheduler = false
+	res := cfg
+	res.RescanScheduler = true
+	a, err := r.runResult(ctx, inc, mix, insts)
+	if err != nil {
+		return err
+	}
+	b, err := r.runResult(ctx, res, mix, insts)
+	if err != nil {
+		return err
+	}
+	if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+		return fmt.Errorf("runner: scheduler differential %s on %s: incremental fingerprint %s != rescan %s",
+			cfg.Name, mix.Name(), fa, fb)
+	}
+	return nil
+}
+
+// runResult executes cfg over mix with bounded streams until every thread
+// drains, returning the assembled Result (the scheduler differential
+// compares whole-run fingerprints rather than retire streams).
+func (r *Runner) runResult(ctx context.Context, cfg config.Config, mix workload.Mix, insts int64) (res *core.Result, err error) {
+	job := Job{Config: cfg, Mix: mix, Warmup: 0, Measure: insts}
+	var c *core.Core
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, recoveredError(job, rec, 1, c)
+		}
+	}()
+	c, coreErr := core.New(cfg, Streams(mix, insts))
+	if coreErr != nil {
+		return nil, coreErr
+	}
+	if err := r.driveToCompletion(ctx, cfg, mix, c, insts); err != nil {
+		return nil, err
+	}
+	out := c.Result()
+	return &out, nil
+}
+
 // runRecorded executes cfg over mix with bounded streams (limit insts per
 // thread) until every thread drains, recording retirement through the
 // retire observer. It verifies each thread retires sequence numbers
@@ -68,10 +116,22 @@ func (r *Runner) runStreams(ctx context.Context, cfg config.Config, mix workload
 		next[tid]++
 	})
 
+	if err := r.driveToCompletion(ctx, cfg, mix, c, insts); err != nil {
+		return nil, err
+	}
+	if orderErr != nil {
+		return nil, orderErr
+	}
+	return next, nil
+}
+
+// driveToCompletion steps c in context-checked chunks until every thread
+// drains, bounded by the runner's per-instruction cycle budget.
+func (r *Runner) driveToCompletion(ctx context.Context, cfg config.Config, mix workload.Mix, c *core.Core, insts int64) error {
 	budget := insts * int64(cfg.Threads) * r.cyclesPerInst()
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, &SimError{
+			return &SimError{
 				Config: cfg.Name, Mix: mix.Name(), Cycle: c.Cycle(), Thread: -1,
 				Attempt: 1, Transient: true,
 				Msg: fmt.Sprintf("wall-clock limit: %v", err), err: err,
@@ -79,7 +139,7 @@ func (r *Runner) runStreams(ctx context.Context, cfg config.Config, mix workload
 		}
 		remaining := budget - c.Cycle()
 		if remaining <= 0 {
-			return nil, &SimError{
+			return &SimError{
 				Config: cfg.Name, Mix: mix.Name(), Cycle: c.Cycle(), Thread: -1,
 				Attempt: 1, Transient: true,
 				Msg: fmt.Sprintf("cycle budget %d exhausted during differential run", budget),
@@ -90,11 +150,7 @@ func (r *Runner) runStreams(ctx context.Context, cfg config.Config, mix workload
 			chunk = remaining
 		}
 		if _, finished := c.Run(chunk); finished {
-			break
+			return nil
 		}
 	}
-	if orderErr != nil {
-		return nil, orderErr
-	}
-	return next, nil
 }

@@ -1,0 +1,57 @@
+package runner
+
+import (
+	"context"
+	"testing"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/workload"
+)
+
+// TestSchedulerDifferentialKernels is the acceptance criterion for the
+// incremental wakeup–select engine: legacy rescan select and incremental
+// select must produce bit-identical Result fingerprints on every benchmark
+// kernel across the scheduler-relevant configurations (pure OOO baseline,
+// optimistic and conservative shelf, coarse-grain switching).
+func TestSchedulerDifferentialKernels(t *testing.T) {
+	r := &Runner{}
+	cfgs := []config.Config{
+		config.Base64(1),
+		config.Shelf64(1, true),
+		config.Shelf64(1, false),
+		config.Coarse64(1, 256),
+	}
+	for _, k := range workload.Kernels() {
+		mix := workload.Mix{ID: 0, Kernels: []*workload.Kernel{k}}
+		for _, cfg := range cfgs {
+			if err := r.SchedulerDifferential(context.Background(), cfg, mix, 600); err != nil {
+				t.Errorf("kernel %s, config %s: %v", k.Name, cfg.Name, err)
+			}
+		}
+	}
+}
+
+func TestSchedulerDifferentialMultithreaded(t *testing.T) {
+	r := &Runner{}
+	for _, mix := range testMixes(4, 2) {
+		for _, cfg := range []config.Config{config.Base64(4), config.Shelf64(4, true)} {
+			if err := r.SchedulerDifferential(context.Background(), cfg, mix, 400); err != nil {
+				t.Errorf("%s on %s: %v", cfg.Name, mix.Name(), err)
+			}
+		}
+	}
+}
+
+// TestSchedulerDifferentialWithInvariants runs the differential with the
+// per-cycle checker on, so the wakeup-list consistency audits police both
+// schedulers while their fingerprints are compared.
+func TestSchedulerDifferentialWithInvariants(t *testing.T) {
+	r := &Runner{}
+	cfg := config.Shelf64(2, true)
+	cfg.CheckInvariants = true
+	for _, mix := range testMixes(2, 1) {
+		if err := r.SchedulerDifferential(context.Background(), cfg, mix, 300); err != nil {
+			t.Errorf("%s: %v", mix.Name(), err)
+		}
+	}
+}

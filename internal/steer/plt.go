@@ -1,6 +1,9 @@
 package steer
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // PLT is the Parent Loads Table for one thread: a bit matrix with one row
 // per architectural register and one column per tracked ("sampled") load.
@@ -18,6 +21,14 @@ type PLT struct {
 	shelved uint32
 	cols    int
 	loadSeq []int64 // per-column sequence tag of the owning load
+	// colRegs is the transpose of rows for register files of at most 64
+	// registers: colRegs[c] is the bitset of registers whose row contains
+	// column c. It lets the RCT enumerate the frozen registers directly —
+	// typically a handful — instead of sweeping the whole register file
+	// every cycle a load is late. Maintained by setRow; unused (and rows
+	// authoritative) when the file is too large for a word.
+	colRegs  [32]uint64
+	wideFile bool
 }
 
 // NewPLT builds a PLT with numRegs rows and cols tracked-load columns
@@ -31,10 +42,46 @@ func NewPLT(numRegs, cols int) *PLT {
 		panic(fmt.Errorf("steer: PLT column count %d out of range [0,32]", cols))
 	}
 	return &PLT{
-		rows:    make([]uint32, numRegs),
-		cols:    cols,
-		loadSeq: make([]int64, cols),
+		rows:     make([]uint32, numRegs),
+		cols:     cols,
+		loadSeq:  make([]int64, cols),
+		wideFile: numRegs > 64,
 	}
+}
+
+// setRow replaces reg's parent-load row, keeping the column transpose in
+// sync. The rows differ in at most a few bits, so the update is a couple
+// of bit scans per dispatched instruction.
+func (p *PLT) setRow(reg int, v uint32) {
+	old := p.rows[reg]
+	if old == v {
+		return
+	}
+	p.rows[reg] = v
+	if p.wideFile {
+		return
+	}
+	bit := uint64(1) << uint(reg)
+	for m := old &^ v; m != 0; m &= m - 1 {
+		p.colRegs[bits.TrailingZeros32(m)] &^= bit
+	}
+	for m := v &^ old; m != 0; m &= m - 1 {
+		p.colRegs[bits.TrailingZeros32(m)] |= bit
+	}
+}
+
+// frozenRegs returns the bitset of registers currently frozen by late
+// columns, or (0, false) when the register file is too large for the
+// transpose and the caller must fall back to testing Frozen per register.
+func (p *PLT) frozenRegs() (uint64, bool) {
+	if p.wideFile {
+		return 0, false
+	}
+	var m uint64
+	for late := p.late; late != 0; late &= late - 1 {
+		m |= p.colRegs[bits.TrailingZeros32(late)]
+	}
+	return m, true
 }
 
 // Cols returns the number of tracked-load columns.
@@ -49,7 +96,7 @@ func (p *PLT) AssignLoad(seq int64, destReg int) int {
 			p.busy |= 1 << c
 			p.loadSeq[c] = seq
 			if destReg >= 0 {
-				p.rows[destReg] = 1 << c
+				p.setRow(destReg, 1<<c)
 			}
 			return c
 		}
@@ -70,7 +117,7 @@ func (p *PLT) Propagate(destReg int, srcRegs ...int) {
 			v |= p.rows[s]
 		}
 	}
-	p.rows[destReg] = v
+	p.setRow(destReg, v)
 }
 
 // MarkLate flags column col as late (its load missed its predicted
@@ -88,8 +135,18 @@ func (p *PLT) LoadCompleted(col int) {
 		return
 	}
 	mask := ^(uint32(1) << col)
-	for i := range p.rows {
-		p.rows[i] &= mask
+	if p.wideFile || p.colRegs[col] != 0 {
+		if p.wideFile {
+			for i := range p.rows {
+				p.rows[i] &= mask
+			}
+		} else {
+			// Only the rows actually containing the column need clearing.
+			for m := p.colRegs[col]; m != 0; m &= m - 1 {
+				p.rows[bits.TrailingZeros64(m)] &= mask
+			}
+			p.colRegs[col] = 0
+		}
 	}
 	p.busy &= mask
 	p.late &= mask
@@ -120,6 +177,9 @@ func (p *PLT) Row(reg int) uint32 { return p.rows[reg] }
 func (p *PLT) Reset() {
 	for i := range p.rows {
 		p.rows[i] = 0
+	}
+	for i := range p.colRegs {
+		p.colRegs[i] = 0
 	}
 	p.busy, p.late, p.shelved = 0, 0, 0
 }

@@ -7,15 +7,27 @@
 // can be tested in isolation; internal/core drives them.
 package steer
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // RCT is the Ready Cycle Table for one thread: for every architectural
 // register it predicts how many cycles remain until the register's value is
 // ready. Counters saturate at the configured width (5 bits in the paper:
-// range 0..31) and are decremented once per cycle unless frozen by the PLT.
+// range 0..31).
+//
+// The hardware decrements every non-zero counter once per cycle unless the
+// PLT freezes it. The software model stores the equivalent absolute ready
+// cycle instead: a countdown that loses one per cycle is a fixed point in
+// absolute time, so the per-cycle decrement sweep disappears and Ready
+// becomes a subtraction against the current cycle. Freezing — the one case
+// where a countdown does NOT track wall-clock — is modeled by pushing the
+// frozen registers' ready cycles forward, and only needs to run at all
+// while the PLT has late columns.
 type RCT struct {
 	max     uint32
-	counter []uint32
+	readyAt []int64
 }
 
 // NewRCT builds an RCT over numRegs registers with bits-wide counters; it
@@ -29,43 +41,84 @@ func NewRCT(numRegs int, bits uint) *RCT {
 	}
 	return &RCT{
 		max:     1<<bits - 1,
-		counter: make([]uint32, numRegs),
+		readyAt: make([]int64, numRegs),
 	}
 }
 
 // Max returns the saturation value of the counters.
 func (r *RCT) Max() uint32 { return r.max }
 
-// Ready returns the predicted cycles until register reg is ready.
-func (r *RCT) Ready(reg int) uint32 { return r.counter[reg] }
+// Ready returns the predicted cycles until register reg is ready, as seen
+// at cycle now: the distance to the recorded ready cycle, clamped to the
+// counter range (a counter that reached zero stays zero).
+func (r *RCT) Ready(reg int, now int64) uint32 {
+	d := r.readyAt[reg] - now
+	if d <= 0 {
+		return 0
+	}
+	if d > int64(r.max) {
+		return r.max
+	}
+	return uint32(d)
+}
 
-// SetReady records a prediction that reg will be ready in cycles cycles,
-// saturating at the counter width.
-func (r *RCT) SetReady(reg int, cycles uint32) {
+// SetReady records a prediction at cycle now that reg will be ready in
+// cycles cycles, saturating at the counter width.
+func (r *RCT) SetReady(reg int, now int64, cycles uint32) {
 	if cycles > r.max {
 		cycles = r.max
 	}
-	r.counter[reg] = cycles
+	r.readyAt[reg] = now + int64(cycles)
 }
 
-// Tick decrements every non-zero counter whose register is not frozen.
-// frozen may be nil (nothing frozen).
-func (r *RCT) Tick(frozen func(reg int) bool) {
-	for reg := range r.counter {
-		if r.counter[reg] == 0 {
-			continue
+// Tick applies one cycle of PLT freezing at cycle now: every frozen
+// register whose countdown has not yet expired is pushed back one cycle,
+// so its apparent distance at now equals its distance at now-1 — exactly
+// a skipped hardware decrement. frozen may be nil (nothing frozen).
+// Callers may skip Tick entirely on cycles where nothing is frozen; the
+// unfrozen countdowns advance by virtue of now advancing.
+func (r *RCT) Tick(now int64, frozen func(reg int) bool) {
+	if frozen == nil {
+		return
+	}
+	for reg := range r.readyAt {
+		if r.readyAt[reg] >= now && frozen(reg) {
+			r.readyAt[reg]++
 		}
-		if frozen != nil && frozen(reg) {
-			continue
+	}
+}
+
+// TickPLT is Tick specialized to PLT freezing, the one frozen predicate
+// the core uses: it reads the parent-load rows and late mask directly, so
+// the hot path has no per-register indirect call, and it is a no-op when
+// no column is late. Equivalent to Tick(now, p.Frozen).
+func (r *RCT) TickPLT(now int64, p *PLT) {
+	if p.late == 0 {
+		return
+	}
+	if m, ok := p.frozenRegs(); ok {
+		// Walk just the frozen registers — a late load's dependence tree,
+		// typically a handful of the file.
+		for ; m != 0; m &= m - 1 {
+			reg := bits.TrailingZeros64(m)
+			if r.readyAt[reg] >= now {
+				r.readyAt[reg]++
+			}
 		}
-		r.counter[reg]--
+		return
+	}
+	late, rows := p.late, p.rows
+	for reg := range r.readyAt {
+		if r.readyAt[reg] >= now && rows[reg]&late != 0 {
+			r.readyAt[reg]++
+		}
 	}
 }
 
 // Reset zeroes every counter (used on thread squash, where all predictions
 // are stale).
 func (r *RCT) Reset() {
-	for i := range r.counter {
-		r.counter[i] = 0
+	for i := range r.readyAt {
+		r.readyAt[i] = 0
 	}
 }

@@ -10,51 +10,78 @@ func TestRCTSetAndRead(t *testing.T) {
 	if r.Max() != 31 {
 		t.Fatalf("5-bit max = %d, want 31", r.Max())
 	}
-	r.SetReady(3, 7)
-	if got := r.Ready(3); got != 7 {
+	r.SetReady(3, 100, 7)
+	if got := r.Ready(3, 100); got != 7 {
 		t.Errorf("Ready(3) = %d, want 7", got)
 	}
-	r.SetReady(3, 1000)
-	if got := r.Ready(3); got != 31 {
+	r.SetReady(3, 100, 1000)
+	if got := r.Ready(3, 100); got != 31 {
 		t.Errorf("saturation failed: %d", got)
 	}
 }
 
-func TestRCTTickDecrements(t *testing.T) {
+// TestRCTCountdownAdvances checks the countdown semantics: as the current
+// cycle advances the predicted distance shrinks by one per cycle with no
+// Tick calls at all, clamping at zero.
+func TestRCTCountdownAdvances(t *testing.T) {
 	r := NewRCT(4, 5)
-	r.SetReady(0, 2)
-	r.Tick(nil)
-	if got := r.Ready(0); got != 1 {
-		t.Errorf("after one tick Ready = %d, want 1", got)
+	r.SetReady(0, 10, 2)
+	if got := r.Ready(0, 11); got != 1 {
+		t.Errorf("one cycle later Ready = %d, want 1", got)
 	}
-	r.Tick(nil)
-	r.Tick(nil)
-	if got := r.Ready(0); got != 0 {
+	if got := r.Ready(0, 13); got != 0 {
 		t.Errorf("counter should clamp at 0, got %d", got)
+	}
+	if got := r.Ready(0, 1000); got != 0 {
+		t.Errorf("expired counter should stay 0, got %d", got)
 	}
 }
 
 func TestRCTFreeze(t *testing.T) {
 	r := NewRCT(4, 5)
-	r.SetReady(0, 5)
-	r.SetReady(1, 5)
+	r.SetReady(0, 10, 5)
+	r.SetReady(1, 10, 5)
 	frozen := func(reg int) bool { return reg == 0 }
-	for i := 0; i < 3; i++ {
-		r.Tick(frozen)
+	for now := int64(11); now <= 13; now++ {
+		r.Tick(now, frozen)
 	}
-	if got := r.Ready(0); got != 5 {
+	if got := r.Ready(0, 13); got != 5 {
 		t.Errorf("frozen counter moved: %d", got)
 	}
-	if got := r.Ready(1); got != 2 {
+	if got := r.Ready(1, 13); got != 2 {
 		t.Errorf("unfrozen counter = %d, want 2", got)
+	}
+}
+
+// TestRCTFreezeExpired checks that a counter that already reached zero is
+// not pushed back by freezing — a zero hardware counter stays zero.
+func TestRCTFreezeExpired(t *testing.T) {
+	r := NewRCT(4, 5)
+	r.SetReady(0, 10, 2)
+	frozen := func(int) bool { return true }
+	for now := int64(11); now <= 15; now++ {
+		r.Tick(now, frozen)
+	}
+	// Frozen from cycle 11 on, the distance seen at each tick stays 2.
+	if got := r.Ready(0, 15); got != 2 {
+		t.Errorf("frozen counter = %d, want 2", got)
+	}
+	// Thawed, it expires two cycles later and stays expired even if
+	// freezing resumes afterwards.
+	if got := r.Ready(0, 17); got != 0 {
+		t.Errorf("thawed counter = %d, want 0", got)
+	}
+	r.Tick(18, frozen)
+	if got := r.Ready(0, 18); got != 0 {
+		t.Errorf("expired counter revived by freeze: %d", got)
 	}
 }
 
 func TestRCTReset(t *testing.T) {
 	r := NewRCT(4, 5)
-	r.SetReady(2, 9)
+	r.SetReady(2, 50, 9)
 	r.Reset()
-	if r.Ready(2) != 0 {
+	if r.Ready(2, 51) != 0 {
 		t.Error("reset did not zero counters")
 	}
 }
@@ -182,14 +209,17 @@ func TestPLTReset(t *testing.T) {
 // Property: RCT counters never exceed the saturation maximum.
 func TestRCTSaturationProperty(t *testing.T) {
 	r := NewRCT(16, 5)
+	now := int64(0)
+	frozen := func(reg int) bool { return reg%2 == 0 }
 	f := func(reg uint8, val uint32, ticks uint8) bool {
 		idx := int(reg) % 16
-		r.SetReady(idx, val)
+		r.SetReady(idx, now, val)
 		for i := 0; i < int(ticks%8); i++ {
-			r.Tick(nil)
+			now++
+			r.Tick(now, frozen)
 		}
 		for i := 0; i < 16; i++ {
-			if r.Ready(i) > r.Max() {
+			if r.Ready(i, now) > r.Max() {
 				return false
 			}
 		}
@@ -197,6 +227,61 @@ func TestRCTSaturationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRCTTickPLTEquivalence drives two RCTs through an identical random
+// schedule — one ticked through the generic per-register Frozen predicate,
+// one through the transpose-driven TickPLT fast path — and checks they
+// agree on every register every cycle, while the PLT's column transpose
+// stays consistent with its rows.
+func TestRCTTickPLTEquivalence(t *testing.T) {
+	const regs = 64
+	a := NewRCT(regs, 5)
+	b := NewRCT(regs, 5)
+	p := NewPLT(regs, 4)
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	seq := int64(0)
+	for now := int64(1); now <= 2000; now++ {
+		switch next(6) {
+		case 0:
+			seq++
+			p.AssignLoad(seq, next(regs))
+		case 1:
+			p.Propagate(next(regs), next(regs), next(regs))
+		case 2:
+			p.MarkLate(next(4))
+		case 3:
+			p.LoadCompleted(next(4))
+		case 4:
+			reg, cyc := next(regs), uint32(next(40))
+			a.SetReady(reg, now, cyc)
+			b.SetReady(reg, now, cyc)
+		}
+		a.Tick(now, p.Frozen)
+		b.TickPLT(now, p)
+		for reg := 0; reg < regs; reg++ {
+			if av, bv := a.Ready(reg, now), b.Ready(reg, now); av != bv {
+				t.Fatalf("cycle %d reg %d: Tick says %d, TickPLT says %d", now, reg, av, bv)
+			}
+		}
+		for col := 0; col < p.Cols(); col++ {
+			var want uint64
+			for reg := 0; reg < regs; reg++ {
+				if p.Row(reg)&(1<<uint(col)) != 0 {
+					want |= 1 << uint(reg)
+				}
+			}
+			if p.colRegs[col] != want {
+				t.Fatalf("cycle %d col %d: transpose %x, rows say %x", now, col, p.colRegs[col], want)
+			}
+		}
 	}
 }
 

@@ -34,7 +34,7 @@ go test -race -count=1 -run TestTelemetryParallelMergeMatchesSerial ./internal/r
 # scheduler noise; fail if the telemetry-off best is slower than 97% of the
 # telemetry-on best — that can only happen through a pathological regression
 # in the off path, since on does strictly more work.
-go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkSimulatorThroughputTelemetry$' \
+go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkSimulatorThroughputTelemetry$|BenchmarkSimulatorThroughputBase$' \
     -benchtime 2x -count 3 . | tee /tmp/bench_obs.txt
 awk '
     /^BenchmarkSimulatorThroughput /          { if ($(NF-1) > off) off = $(NF-1) }
@@ -50,3 +50,33 @@ awk '
     }
 ' /tmp/bench_obs.txt
 cat BENCH_obs.json
+
+# Core scheduler perf gate. The incremental wakeup–select engine and the
+# allocation-free hot path (DESIGN.md "Scheduler") are this simulator's
+# throughput story; BENCH_core.json records absolute insts/s for the
+# default Shelf64 and Base64 configs and the gate fails if the best-of-3
+# drops below 90% of the checked-in baseline. The baseline is set below
+# quiet-machine measurements on purpose: shared runners swing single runs
+# by ~20%, and best-of-3 only needs one quiet run to clear a floor, so a
+# conservative reference keeps the gate meaningful without being flaky.
+# Raise the baseline when a perf PR moves the quiet-machine numbers.
+SHELF_BASELINE=$(sed -n 's/.*"shelf64_insts_per_s": *\([0-9][0-9]*\).*/\1/p' scripts/bench_core_baseline.json)
+BASE_BASELINE=$(sed -n 's/.*"base64_insts_per_s": *\([0-9][0-9]*\).*/\1/p' scripts/bench_core_baseline.json)
+awk -v shelf_ref="$SHELF_BASELINE" -v base_ref="$BASE_BASELINE" '
+    /^BenchmarkSimulatorThroughput /     { if ($(NF-1) > shelf) shelf = $(NF-1) }
+    /^BenchmarkSimulatorThroughputBase / { if ($(NF-1) > base)  base  = $(NF-1) }
+    END {
+        if (shelf == 0 || base == 0) { print "missing core benchmark output"; exit 1 }
+        if (shelf_ref == 0 || base_ref == 0) { print "missing bench_core_baseline.json values"; exit 1 }
+        printf "{\n  \"shelf64_insts_per_s\": %.0f,\n  \"base64_insts_per_s\": %.0f,\n  \"shelf64_vs_baseline\": %.3f,\n  \"base64_vs_baseline\": %.3f\n}\n", shelf, base, shelf / shelf_ref, base / base_ref > "BENCH_core.json"
+        if (shelf < shelf_ref * 0.9) {
+            printf "shelf64 throughput %.0f insts/s below 90%% of baseline %.0f\n", shelf, shelf_ref
+            exit 1
+        }
+        if (base < base_ref * 0.9) {
+            printf "base64 throughput %.0f insts/s below 90%% of baseline %.0f\n", base, base_ref
+            exit 1
+        }
+    }
+' /tmp/bench_obs.txt
+cat BENCH_core.json
