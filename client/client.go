@@ -1,0 +1,229 @@
+// Package client is the typed Go client for shelfd, the shelfsim
+// simulation service. It speaks the same shelfsim.Request / shelfsim.Report
+// wire types the library API uses, so moving a workload between in-process
+// and served execution is a one-line change:
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	rep, err := c.Run(ctx, shelfsim.Request{
+//		Preset:  "shelf64-opt",
+//		Kernels: []string{"stream", "ptrchase", "branchy", "matblock"},
+//		Insts:   100_000,
+//	})
+//
+// Server-side rejections surface as typed errors: validation failures are
+// *shelfsim.FieldError (naming the offending field) and backpressure is
+// *client.BusyError (carrying the server's Retry-After hint).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"shelfsim"
+	"shelfsim/internal/serve"
+)
+
+// BusyError is a 429 rejection: the server's queue is full or it is
+// draining. RetryAfter carries the server's backoff hint.
+type BusyError struct {
+	// Message is the server's explanation ("job queue full", "server
+	// draining").
+	Message string
+	// RetryAfter is the suggested backoff before resubmitting.
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("shelfd busy: %s (retry after %v)", e.Message, e.RetryAfter)
+}
+
+// StatusError is any other non-2xx response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("shelfd: HTTP %d: %s", e.Code, e.Message)
+}
+
+// Client talks to one shelfd instance. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a client for the shelfd instance at baseURL (for example
+// "http://127.0.0.1:8080"). The default http.Client has no timeout —
+// simulations are long-running; bound calls with the context instead, or
+// install a custom client with SetHTTPClient.
+func New(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: &http.Client{}}
+}
+
+// SetHTTPClient replaces the underlying HTTP client (custom transports,
+// timeouts, instrumentation).
+func (c *Client) SetHTTPClient(h *http.Client) { c.http = h }
+
+// decodeError maps a non-2xx response to a typed error.
+func decodeError(resp *http.Response, body []byte) error {
+	var eb serve.ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return &BusyError{Message: eb.Error, RetryAfter: time.Duration(eb.RetryAfterMs) * time.Millisecond}
+	case resp.StatusCode == http.StatusBadRequest && eb.Field != "":
+		return &shelfsim.FieldError{Field: eb.Field, Msg: eb.Error}
+	default:
+		return &StatusError{Code: resp.StatusCode, Message: eb.Error}
+	}
+}
+
+// postJSON performs one JSON POST and returns the raw response body on
+// 2xx, or a typed error.
+func (c *Client) postJSON(ctx context.Context, path string, payload any) ([]byte, error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp, out)
+	}
+	return out, nil
+}
+
+// getJSON performs one GET and decodes the JSON response into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Run submits one simulation request and blocks until its versioned
+// report arrives. Identical concurrent requests are deduplicated
+// server-side onto a single execution.
+func (c *Client) Run(ctx context.Context, req shelfsim.Request) (shelfsim.Report, error) {
+	body, err := c.postJSON(ctx, "/v1/run", req)
+	if err != nil {
+		return shelfsim.Report{}, err
+	}
+	return shelfsim.DecodeReport(body)
+}
+
+// Sweep submits a batch of requests and streams their outcomes as they
+// complete: onEvent is called for every NDJSON event, including the
+// opening "accepted" and closing "done" summaries. It returns the final
+// completed/failed tally.
+func (c *Client) Sweep(ctx context.Context, reqs []shelfsim.Request, onEvent func(serve.StreamEvent)) (completed, failed int, err error) {
+	body, err := json.Marshal(serve.SweepRequest{Requests: reqs})
+	if err != nil {
+		return 0, 0, fmt.Errorf("client: encoding sweep: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return 0, 0, decodeError(resp, raw)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	sawDone := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev serve.StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return completed, failed, fmt.Errorf("client: malformed stream event: %w", err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if ev.Type == "done" {
+			completed, failed, sawDone = ev.Completed, ev.Failed, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return completed, failed, err
+	}
+	if !sawDone {
+		return completed, failed, fmt.Errorf("client: sweep stream ended without a done event")
+	}
+	return completed, failed, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (serve.Health, error) {
+	var h serve.Health
+	err := c.getJSON(ctx, "/healthz", &h)
+	return h, err
+}
+
+// Metrics fetches /metrics.
+func (c *Client) Metrics(ctx context.Context) (serve.Metrics, error) {
+	var m serve.Metrics
+	err := c.getJSON(ctx, "/metrics", &m)
+	return m, err
+}
+
+// KernelInfo describes one servable kernel.
+type KernelInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// Kernels lists the kernels the server can run.
+func (c *Client) Kernels(ctx context.Context) ([]KernelInfo, error) {
+	var out []KernelInfo
+	err := c.getJSON(ctx, "/v1/kernels", &out)
+	return out, err
+}

@@ -1,0 +1,193 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"shelfsim"
+	"shelfsim/internal/serve"
+)
+
+// newServed stands up an in-process shelfd and a client pointed at it.
+func newServed(t *testing.T) (*serve.Server, *Client) {
+	t.Helper()
+	s := serve.New(serve.Options{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, New(ts.URL)
+}
+
+func TestClientRun(t *testing.T) {
+	_, c := newServed(t)
+	rep, err := c.Run(context.Background(), shelfsim.Request{
+		Preset: "base64", Kernels: []string{"stream"}, Insts: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != shelfsim.SchemaVersion || rep.ResultFingerprint == "" || rep.CacheKey == "" {
+		t.Errorf("incomplete report: %+v", rep)
+	}
+}
+
+// TestClientFieldError: server-side validation failures come back as the
+// same *shelfsim.FieldError the in-process API returns.
+func TestClientFieldError(t *testing.T) {
+	_, c := newServed(t)
+	_, err := c.Run(context.Background(), shelfsim.Request{
+		Preset: "base96", Kernels: []string{"stream"}, Insts: 400,
+	})
+	var fe *shelfsim.FieldError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v is not a *shelfsim.FieldError", err)
+	}
+	if fe.Field != "preset" {
+		t.Errorf("field %q, want preset", fe.Field)
+	}
+}
+
+// TestClientBusyError: backpressure rejections surface as *BusyError with
+// the server's Retry-After hint attached.
+func TestClientBusyError(t *testing.T) {
+	s, c := newServed(t)
+	s.BeginDrain()
+	_, err := c.Run(context.Background(), shelfsim.Request{
+		Preset: "base64", Kernels: []string{"stream"}, Insts: 400,
+	})
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a *BusyError", err)
+	}
+	if be.RetryAfter <= 0 {
+		t.Errorf("busy error without a retry hint: %+v", be)
+	}
+}
+
+func TestClientSweep(t *testing.T) {
+	_, c := newServed(t)
+	reqs := []shelfsim.Request{
+		{Preset: "base64", Kernels: []string{"stream"}, Insts: 300},
+		{Preset: "base64", Kernels: []string{"stream"}, Insts: 301},
+		{Preset: "base64", Kernels: []string{"branchy"}, Insts: 302},
+	}
+	var mu sync.Mutex
+	types := map[string]int{}
+	completed, failed, err := c.Sweep(context.Background(), reqs, func(ev serve.StreamEvent) {
+		mu.Lock()
+		types[ev.Type]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != 3 || failed != 0 {
+		t.Errorf("sweep tally %d/%d, want 3/0", completed, failed)
+	}
+	if types["accepted"] != 1 || types["result"] != 3 || types["done"] != 1 {
+		t.Errorf("event types %v", types)
+	}
+}
+
+func TestClientHealthMetricsKernels(t *testing.T) {
+	_, c := newServed(t)
+	ctx := context.Background()
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.SchemaVersion != shelfsim.SchemaVersion {
+		t.Errorf("health: %+v", h)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters.Submitted != 0 {
+		t.Errorf("fresh server metrics: %+v", m.Counters)
+	}
+	ks, err := c.Kernels(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) == 0 || ks[0].Name == "" {
+		t.Errorf("kernels: %+v", ks)
+	}
+}
+
+// TestExternalServerSmoke drives a real shelfd process named by
+// SHELFD_ADDR (CI boots one and sets it; the test skips otherwise): a
+// 32-request burst — 16 unique requests, each submitted twice so the
+// duplicate pairs exercise server-side dedup — then verifies pairwise
+// fingerprint identity and the /metrics accounting.
+func TestExternalServerSmoke(t *testing.T) {
+	addr := os.Getenv("SHELFD_ADDR")
+	if addr == "" {
+		t.Skip("SHELFD_ADDR not set; external smoke test runs in CI only")
+	}
+	c := New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("server not healthy: %+v", h)
+	}
+
+	// Large-ish windows keep each unique job in flight long enough that its
+	// duplicate (submitted concurrently) attaches to it.
+	const unique = 16
+	var wg sync.WaitGroup
+	fingerprints := make([]string, 2*unique)
+	for i := 0; i < 2*unique; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := shelfsim.Request{
+				Preset:  "base64",
+				Kernels: []string{"stream"},
+				Insts:   100_000 + int64(i%unique),
+			}
+			rep, err := c.Run(ctx, req)
+			if err != nil {
+				t.Errorf("burst request %d: %v", i, err)
+				return
+			}
+			fingerprints[i] = rep.ResultFingerprint
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 0; i < unique; i++ {
+		if fingerprints[i] != fingerprints[i+unique] {
+			t.Errorf("duplicate pair %d diverged: %s vs %s", i, fingerprints[i], fingerprints[i+unique])
+		}
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m.Counters.Completed < unique {
+		t.Errorf("metrics show %d completions, want >= %d", m.Counters.Completed, unique)
+	}
+	if m.Counters.Executed+m.Counters.DedupHits < 2*unique {
+		t.Errorf("executed %d + dedup %d < %d submissions",
+			m.Counters.Executed, m.Counters.DedupHits, 2*unique)
+	}
+	if m.Counters.DedupHits == 0 {
+		t.Errorf("no dedup hits across %d duplicate submissions", unique)
+	}
+}

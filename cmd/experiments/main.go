@@ -53,15 +53,25 @@ func main() {
 	h.FaultMix = *faultMix
 	h.FaultCycle = *faultCyc
 
-	// Warm the run cache in parallel on the worker pool: the four main
-	// configurations dominate the figures, and supervised failures here are
-	// recorded rather than fatal.
-	h.Prewarm(context.Background(), []config.Config{
+	// The four main configurations dominate the figures; validate them up
+	// front so a bad -threads value fails with a typed field error instead
+	// of a mid-experiment panic.
+	mainConfigs := []config.Config{
 		config.Base64(*thread),
 		config.Shelf64(*thread, false),
 		config.Shelf64(*thread, true),
 		config.Base128(*thread),
-	}, h.Mixes(*thread))
+	}
+	for i := range mainConfigs {
+		if err := mainConfigs[i].Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: config %s: %v\n", mainConfigs[i].Name, err)
+			os.Exit(1)
+		}
+	}
+
+	// Warm the run cache in parallel on the worker pool: supervised
+	// failures here are recorded rather than fatal.
+	h.Prewarm(context.Background(), mainConfigs, h.Mixes(*thread))
 
 	// An experiment error no longer aborts the program: the remaining
 	// experiments still run and the failure manifest is emitted at the end.

@@ -1,0 +1,89 @@
+// Command shelfd serves shelfsim simulations over HTTP/JSON: POST a
+// shelfsim.Request to /v1/run (or a batch to /v1/sweep for an NDJSON
+// stream), and read /healthz and /metrics for liveness and the merged
+// observability snapshot. Jobs are scheduled onto a bounded queue in front
+// of the supervised runner worker pool; identical in-flight requests share
+// one execution; a full queue answers 429 with Retry-After.
+//
+//	shelfd -addr :8080
+//	curl -s localhost:8080/v1/run -d '{"preset":"shelf64-opt","kernels":["stream","ptrchase","branchy","matblock"],"insts":100000}'
+//
+// On SIGTERM/SIGINT shelfd drains gracefully: admitted jobs finish and are
+// answered, new submissions get 429, and the process exits 0 once idle (or
+// non-zero if the drain deadline expires with jobs still running).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shelfsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile  = flag.String("addrfile", "", "write the bound address to this file once listening (CI/scripts)")
+		queue     = flag.Int("queue", 64, "bounded job-queue depth; a full queue answers 429")
+		workers   = flag.Int("workers", 0, "concurrent simulations (default: GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-job wall-clock timeout")
+		drainWait = flag.Duration("drain", 5*time.Minute, "graceful-drain deadline after SIGTERM")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("shelfd: %v", err)
+	}
+	log.Printf("shelfd: listening on %s", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("shelfd: writing addrfile: %v", err)
+		}
+	}
+
+	srv := serve.New(serve.Options{
+		QueueDepth: *queue,
+		Workers:    *workers,
+		JobTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Handler: srv}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case s := <-sig:
+		log.Printf("shelfd: %v: draining (deadline %v)", s, *drainWait)
+	case err := <-serveErr:
+		log.Fatalf("shelfd: serve: %v", err)
+	}
+
+	// Drain order matters: stop admission first (submissions now get 429
+	// through the still-open listener), finish the admitted jobs so their
+	// responses go out, then close the HTTP server, which waits for those
+	// responses to be written.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	drainErr := srv.Wait(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = fmt.Errorf("http shutdown: %w", err)
+	}
+	srv.Close()
+	if drainErr != nil {
+		log.Fatalf("shelfd: %v", drainErr)
+	}
+	log.Printf("shelfd: drained, exiting")
+}

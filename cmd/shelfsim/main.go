@@ -1,15 +1,20 @@
 // Command shelfsim runs one simulation and prints a summary: pick a
-// configuration, a set of kernels (one per thread), an instruction budget
-// and a steering policy.
+// configuration preset, a set of kernels (one per thread), an instruction
+// budget and a steering policy. The flags assemble a shelfsim.Request —
+// the same description shelfd accepts over HTTP — so any CLI invocation
+// can be replayed against a server verbatim.
 //
 // Examples:
 //
 //	shelfsim -config shelf64-opt -kernels stream,ptrchase,branchy,matblock -insts 200000
 //	shelfsim -config base64 -threads 1 -kernels ptrchase -insts 100000
+//	shelfsim -config base64 -kernels stream,branchy -insts 100000 -json
 //	shelfsim -list
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +26,13 @@ import (
 
 func main() {
 	var (
-		configName = flag.String("config", "shelf64-opt", "configuration: base64, base128, shelf64-cons, shelf64-opt")
+		configName = flag.String("config", "shelf64-opt", "configuration preset: base64, base128, shelf64-cons, shelf64-opt, coarse64")
 		kernelsCSV = flag.String("kernels", "", "comma-separated kernel names, one per thread")
 		threads    = flag.Int("threads", 0, "thread count (default: number of kernels)")
 		insts      = flag.Int64("insts", 200_000, "retired instructions per thread")
 		steerName  = flag.String("steer", "", "override steering: all-iq, all-shelf, oracle, practical, coarse")
 		list       = flag.Bool("list", false, "list available kernels and exit")
+		jsonOut    = flag.Bool("json", false, "print the versioned JSON report instead of the text summary")
 		obsOut     = flag.String("obs", "", "collect per-core telemetry and write it to this file (JSON, or CSV with a .csv extension)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -49,52 +55,45 @@ func main() {
 	if len(names) == 0 {
 		names = []string{"stream", "ptrchase", "branchy", "matblock"}
 	}
-	n := *threads
-	if n == 0 {
-		n = len(names)
-	}
-	if len(names) != n {
-		fatalf("need %d kernels for %d threads, got %d", n, n, len(names))
-	}
 
-	var cfg shelfsim.Config
-	switch *configName {
-	case "base64":
-		cfg = shelfsim.Base64(n)
-	case "base128":
-		cfg = shelfsim.Base128(n)
-	case "shelf64-cons":
-		cfg = shelfsim.Shelf64(n, false)
-	case "shelf64-opt":
-		cfg = shelfsim.Shelf64(n, true)
-	default:
-		fatalf("unknown config %q", *configName)
+	req := shelfsim.Request{
+		Preset:  *configName,
+		Threads: *threads,
+		Kernels: names,
+		Insts:   *insts,
 	}
+	ov := shelfsim.Overrides{}
 	if *steerName != "" {
-		switch *steerName {
-		case "all-iq":
-			cfg.Steer = shelfsim.SteerAllIQ
-		case "all-shelf":
-			cfg.Steer = shelfsim.SteerAllShelf
-		case "oracle":
-			cfg.Steer = shelfsim.SteerOracle
-		case "practical":
-			cfg.Steer = shelfsim.SteerPractical
-		case "coarse":
-			cfg.Steer = shelfsim.SteerCoarse
-			cfg.CoarseInterval = 1000
-		default:
-			fatalf("unknown steering %q", *steerName)
-		}
+		ov.Steer = steerName
+	}
+	if *obsOut != "" {
+		telemetry := true
+		ov.Telemetry = &telemetry
+	}
+	if ov != (shelfsim.Overrides{}) {
+		req.Overrides = &ov
 	}
 
-	cfg.Telemetry = cfg.Telemetry || *obsOut != ""
-
-	res, err := shelfsim.RunKernels(cfg, names, *insts)
+	// Resolve up front: configuration validation failures surface as typed
+	// field errors before any simulation runs.
+	rv, err := req.Resolve()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	printResult(res)
+
+	res, err := shelfsim.Run(context.Background(), req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(shelfsim.NewReport(rv, res)); err != nil {
+			fatalf("encoding report: %v", err)
+		}
+	} else {
+		printResult(res)
+	}
 	if *obsOut != "" {
 		if err := obs.WriteFile(*obsOut, res.Obs); err != nil {
 			fatalf("writing telemetry: %v", err)

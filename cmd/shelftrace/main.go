@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -90,7 +91,7 @@ func info(args []string) {
 
 func runTraces(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	configName := fs.String("config", "shelf64-opt", "base64, base128, shelf64-cons, shelf64-opt")
+	configName := fs.String("config", "shelf64-opt", "configuration preset: base64, base128, shelf64-cons, shelf64-opt, coarse64")
 	insts := fs.Int64("insts", 10_000, "measured instructions per thread")
 	obsOut := fs.String("obs", "", "collect per-core telemetry and write it to this file (JSON, or CSV with a .csv extension)")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -106,27 +107,19 @@ func runTraces(args []string) {
 		fatalf("%v", err)
 	}
 
-	var cfg shelfsim.Config
-	switch *configName {
-	case "base64":
-		cfg = shelfsim.Base64(len(paths))
-	case "base128":
-		cfg = shelfsim.Base128(len(paths))
-	case "shelf64-cons":
-		cfg = shelfsim.Shelf64(len(paths), false)
-	case "shelf64-opt":
-		cfg = shelfsim.Shelf64(len(paths), true)
-	default:
-		fatalf("unknown config %q", *configName)
-	}
-
-	cfg.Telemetry = cfg.Telemetry || *obsOut != ""
-
 	streams := make([]shelfsim.Stream, len(paths))
 	for i, p := range paths {
 		streams[i] = openTrace(p)
 	}
-	res, err := shelfsim.RunStreams(cfg, streams, *insts/2, *insts)
+	// Traces ride the library-only Streams path of the request API: the
+	// preset, overrides and validation are shared with every other entry
+	// point, only the workload cannot travel over the wire.
+	req := shelfsim.Request{Preset: *configName, Streams: streams, Insts: *insts}
+	if *obsOut != "" {
+		telemetry := true
+		req.Overrides = &shelfsim.Overrides{Telemetry: &telemetry}
+	}
+	res, err := shelfsim.Run(context.Background(), req)
 	if err != nil {
 		fatalf("%v", err)
 	}

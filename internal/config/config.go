@@ -173,53 +173,110 @@ type Config struct {
 	Name string
 }
 
-// Validate reports the first configuration error found.
+// FieldError is a typed validation failure: Field names the offending
+// configuration (or request) field — a Config field name like "ROB", or a
+// dotted path like "Mem.L1D" for substrate configs — and Msg states the
+// violated constraint. Typed field attribution lets a network front end
+// map a bad request to a 400 response carrying the field name instead of
+// panicking deep inside the core, and lets CLIs point at the exact flag.
+type FieldError struct {
+	// Field is the offending field's name (dotted path for nested configs).
+	Field string `json:"field"`
+	// Msg describes the violated constraint.
+	Msg string `json:"message"`
+
+	err error
+}
+
+// Error implements the error interface.
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("config: %s: %s", e.Field, e.Msg)
+}
+
+// Unwrap exposes the underlying substrate validation error, if any.
+func (e *FieldError) Unwrap() error { return e.err }
+
+// Fielderrf builds a *FieldError with a formatted message. Exported so the
+// request layer can attribute its own validation failures ("kernels",
+// "insts", ...) with the same type the servers already map to 400s.
+func Fielderrf(field, format string, args ...any) *FieldError {
+	return &FieldError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// wrapField converts a substrate validation error into a *FieldError
+// rooted at the named Config field, preserving the cause for errors.As.
+func wrapField(field string, err error) *FieldError {
+	return &FieldError{Field: field, Msg: err.Error(), err: err}
+}
+
+// Validate reports the first configuration error found as a *FieldError
+// naming the offending field, so callers can attribute failures without
+// parsing messages.
 func (c *Config) Validate() error {
 	switch {
 	case c.Threads < 1 || c.Threads > 8:
-		return fmt.Errorf("config: thread count %d out of range [1,8]", c.Threads)
-	case c.FetchWidth <= 0 || c.Width <= 0:
-		return fmt.Errorf("config: non-positive widths fetch=%d width=%d", c.FetchWidth, c.Width)
+		return Fielderrf("Threads", "thread count %d out of range [1,8]", c.Threads)
+	case c.FetchWidth <= 0:
+		return Fielderrf("FetchWidth", "non-positive fetch width %d", c.FetchWidth)
+	case c.Width <= 0:
+		return Fielderrf("Width", "non-positive width %d", c.Width)
 	case c.FetchToDispatch < 1:
-		return fmt.Errorf("config: front-end depth %d must be >= 1", c.FetchToDispatch)
+		return Fielderrf("FetchToDispatch", "front-end depth %d must be >= 1", c.FetchToDispatch)
 	case c.ROB < c.Threads:
-		return fmt.Errorf("config: ROB %d smaller than thread count %d", c.ROB, c.Threads)
+		return Fielderrf("ROB", "ROB %d smaller than thread count %d", c.ROB, c.Threads)
 	case c.ROB%c.Threads != 0:
-		return fmt.Errorf("config: ROB %d not divisible by %d threads", c.ROB, c.Threads)
+		return Fielderrf("ROB", "ROB %d not divisible by %d threads", c.ROB, c.Threads)
 	case c.IQ <= 0:
-		return fmt.Errorf("config: non-positive IQ %d", c.IQ)
-	case c.LQ%c.Threads != 0 || c.SQ%c.Threads != 0:
-		return fmt.Errorf("config: LQ %d / SQ %d not divisible by %d threads", c.LQ, c.SQ, c.Threads)
-	case c.LQ <= 0 || c.SQ <= 0:
-		return fmt.Errorf("config: non-positive LQ %d / SQ %d", c.LQ, c.SQ)
+		return Fielderrf("IQ", "non-positive IQ %d", c.IQ)
+	case c.LQ <= 0:
+		return Fielderrf("LQ", "non-positive LQ %d", c.LQ)
+	case c.SQ <= 0:
+		return Fielderrf("SQ", "non-positive SQ %d", c.SQ)
+	case c.LQ%c.Threads != 0:
+		return Fielderrf("LQ", "LQ %d not divisible by %d threads", c.LQ, c.Threads)
+	case c.SQ%c.Threads != 0:
+		return Fielderrf("SQ", "SQ %d not divisible by %d threads", c.SQ, c.Threads)
 	case c.PRF < c.ROB:
-		return fmt.Errorf("config: PRF %d smaller than ROB %d (renaming would deadlock)", c.PRF, c.ROB)
+		return Fielderrf("PRF", "PRF %d smaller than ROB %d (renaming would deadlock)", c.PRF, c.ROB)
 	case c.Shelf < 0:
-		return fmt.Errorf("config: negative shelf %d", c.Shelf)
+		return Fielderrf("Shelf", "negative shelf %d", c.Shelf)
 	case c.Shelf > 0 && c.Shelf%c.Threads != 0:
-		return fmt.Errorf("config: shelf %d not divisible by %d threads", c.Shelf, c.Threads)
+		return Fielderrf("Shelf", "shelf %d not divisible by %d threads", c.Shelf, c.Threads)
 	case c.Shelf > 0 && (c.Shelf/c.Threads)&(c.Shelf/c.Threads-1) != 0:
-		return fmt.Errorf("config: per-thread shelf %d must be a power of two (doubled index space)", c.Shelf/c.Threads)
+		return Fielderrf("Shelf", "per-thread shelf %d must be a power of two (doubled index space)", c.Shelf/c.Threads)
 	case c.RCTBits == 0 || c.RCTBits > 16:
-		return fmt.Errorf("config: RCT width %d out of range", c.RCTBits)
+		return Fielderrf("RCTBits", "RCT width %d out of range", c.RCTBits)
 	case c.PLTLoads < 0:
-		return fmt.Errorf("config: negative PLT size %d", c.PLTLoads)
+		return Fielderrf("PLTLoads", "negative PLT size %d", c.PLTLoads)
+	case c.Steer > SteerCoarse:
+		return Fielderrf("Steer", "unknown steering policy %d", c.Steer)
 	case c.Steer == SteerCoarse && c.CoarseInterval <= 0:
-		return fmt.Errorf("config: coarse steering needs a positive interval, got %d", c.CoarseInterval)
-	case c.IntALUs <= 0 || c.IntMultDiv <= 0 || c.FPUnits <= 0 || c.MemPorts <= 0:
-		return fmt.Errorf("config: all functional unit counts must be positive")
+		return Fielderrf("CoarseInterval", "coarse steering needs a positive interval, got %d", c.CoarseInterval)
+	case c.Shelf == 0 && c.Steer != SteerAllIQ:
+		return Fielderrf("Steer", "steering policy %v requires a shelf", c.Steer)
+	case c.IntALUs <= 0:
+		return Fielderrf("IntALUs", "non-positive integer ALU count %d", c.IntALUs)
+	case c.IntMultDiv <= 0:
+		return Fielderrf("IntMultDiv", "non-positive mult/div unit count %d", c.IntMultDiv)
+	case c.FPUnits <= 0:
+		return Fielderrf("FPUnits", "non-positive FP unit count %d", c.FPUnits)
+	case c.MemPorts <= 0:
+		return Fielderrf("MemPorts", "non-positive memory port count %d", c.MemPorts)
 	case c.InjectFaultCycle < 0:
-		return fmt.Errorf("config: negative fault-injection cycle %d", c.InjectFaultCycle)
+		return Fielderrf("InjectFaultCycle", "negative fault-injection cycle %d", c.InjectFaultCycle)
 	}
 	if err := c.Branch.Validate(); err != nil {
-		return err
+		return wrapField("Branch", err)
 	}
 	if err := c.StoreSets.Validate(); err != nil {
-		return err
+		return wrapField("StoreSets", err)
 	}
-	for _, cc := range []mem.CacheConfig{c.Mem.L1I, c.Mem.L1D, c.Mem.L2} {
-		if err := cc.Validate(); err != nil {
-			return err
+	for _, sub := range []struct {
+		field string
+		cc    mem.CacheConfig
+	}{{"Mem.L1I", c.Mem.L1I}, {"Mem.L1D", c.Mem.L1D}, {"Mem.L2", c.Mem.L2}} {
+		if err := sub.cc.Validate(); err != nil {
+			return wrapField(sub.field, err)
 		}
 	}
 	return nil

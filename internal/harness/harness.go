@@ -95,11 +95,19 @@ func (h *Harness) prepare(cfg *config.Config, mix workload.Mix) {
 	}
 }
 
-// cacheKey keys runs on the full configuration fingerprint, not the
-// config's display name: two configs sharing a Name but differing in any
-// parameter (steering policy, queue sizes, ablation flags) must not alias.
+// CacheKey is the canonical identity of one simulation: the full
+// configuration fingerprint (never the display name — two configs sharing
+// a Name but differing in any parameter must not alias), the mix identity
+// and the measurement window. The harness memoizes on it, the request API
+// exposes it, and the serving layer deduplicates in-flight jobs with it,
+// so all three agree on when two runs are the same run.
+func CacheKey(cfg *config.Config, mix workload.Mix, warmup, insts int64) string {
+	return fmt.Sprintf("%s/%s/%d/%d", cfg.Fingerprint(), mix.Name(), warmup, insts)
+}
+
+// cacheKey keys runs on the harness's own measurement window.
 func (h *Harness) cacheKey(cfg *config.Config, mix workload.Mix) string {
-	return fmt.Sprintf("%s/%s/%d/%d", cfg.Fingerprint(), mix.Name(), h.Warmup, h.Insts)
+	return CacheKey(cfg, mix, h.Warmup, h.Insts)
 }
 
 // Run simulates cfg over mix under runner supervision, memoized on the

@@ -61,10 +61,30 @@ func (e *SimError) Unwrap() error { return e.err }
 // paper's warmup/measurement methodology (Warmup retired instructions of
 // training, then a window of Measure retired instructions per thread).
 type Job struct {
-	Config  config.Config
-	Mix     workload.Mix
+	Config config.Config
+	Mix    workload.Mix
+	// Streams, when non-nil, overrides the mix-derived instruction streams
+	// (library callers driving custom workloads or recorded traces). It is
+	// not serializable, so network front ends never set it.
+	Streams []isa.Stream
 	Warmup  int64
 	Measure int64
+}
+
+// label identifies the job's workload in failure reports: the mix name, or
+// the stream names when the job runs caller-provided streams.
+func (j *Job) label() string {
+	if len(j.Mix.Kernels) > 0 || j.Streams == nil {
+		return j.Mix.Name()
+	}
+	s := "streams["
+	for i, st := range j.Streams {
+		if i > 0 {
+			s += "+"
+		}
+		s += st.Name()
+	}
+	return s + "]"
 }
 
 // JobResult pairs a job with its outcome: exactly one of Result and Err is
@@ -180,10 +200,14 @@ func (r *Runner) runOnce(ctx context.Context, job Job, warmup, measure int64, at
 		defer cancel()
 	}
 
-	c, err := core.New(job.Config, Streams(job.Mix, -1))
+	streams := job.Streams
+	if streams == nil {
+		streams = Streams(job.Mix, -1)
+	}
+	c, err := core.New(job.Config, streams)
 	if err != nil {
 		return nil, &SimError{
-			Config: job.Config.Name, Mix: job.Mix.Name(), Cycle: -1, Thread: -1,
+			Config: job.Config.Name, Mix: job.label(), Cycle: -1, Thread: -1,
 			Attempt: attempt, Msg: err.Error(), err: err,
 		}
 	}
@@ -193,7 +217,7 @@ func (r *Runner) runOnce(ctx context.Context, job Job, warmup, measure int64, at
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, &SimError{
-				Config: job.Config.Name, Mix: job.Mix.Name(), Cycle: c.Cycle(), Thread: -1,
+				Config: job.Config.Name, Mix: job.label(), Cycle: c.Cycle(), Thread: -1,
 				Attempt: attempt, Transient: true,
 				Msg: fmt.Sprintf("wall-clock limit: %v", err), err: err,
 			}
@@ -202,7 +226,7 @@ func (r *Runner) runOnce(ctx context.Context, job Job, warmup, measure int64, at
 		if remaining <= 0 {
 			err := fmt.Errorf("cycle budget %d exhausted (possible deadlock or pathological slowdown)", budget)
 			return nil, &SimError{
-				Config: job.Config.Name, Mix: job.Mix.Name(), Cycle: c.Cycle(), Thread: -1,
+				Config: job.Config.Name, Mix: job.label(), Cycle: c.Cycle(), Thread: -1,
 				Attempt: attempt, Transient: true, Msg: err.Error(), err: err,
 			}
 		}
@@ -223,7 +247,7 @@ func (r *Runner) runOnce(ctx context.Context, job Job, warmup, measure int64, at
 func recoveredError(job Job, rec any, attempt int, c *core.Core) *SimError {
 	e := &SimError{
 		Config:  job.Config.Name,
-		Mix:     job.Mix.Name(),
+		Mix:     job.label(),
 		Cycle:   -1,
 		Thread:  -1,
 		Attempt: attempt,

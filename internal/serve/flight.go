@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"shelfsim"
+	"shelfsim/internal/obs"
+	"shelfsim/internal/runner"
+)
+
+// errQueueFull and errDraining are the two backpressure rejections; both
+// surface as 429 + Retry-After.
+var (
+	errQueueFull = errors.New("serve: job queue full")
+	errDraining  = errors.New("serve: draining, not admitting jobs")
+)
+
+// flight is one admitted simulation and everyone waiting on it. Duplicate
+// submissions with the same cache key attach to the existing flight
+// instead of queueing a second execution; the worker publishes the report
+// (or error) and closes done, releasing every waiter at once.
+type flight struct {
+	key  string
+	rv   shelfsim.Resolved
+	done chan struct{}
+
+	// report and err are written by the executing worker before done is
+	// closed; waiters read them only after <-done.
+	report shelfsim.Report
+	err    error
+}
+
+// submit validates and admits one request: it either attaches to an
+// identical in-flight job (dedup), enqueues a new flight, or rejects with
+// errDraining / errQueueFull / a *FieldError.
+func (s *Server) submit(req shelfsim.Request) (*flight, error) {
+	rv, err := req.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if rv.Streams != nil {
+		// Unreachable through JSON decoding (Streams never travels over
+		// the wire), but guards embedded in-process use.
+		return nil, errors.New("serve: stream-backed requests are not servable")
+	}
+	key := rv.CacheKey()
+
+	s.admission.Lock()
+	defer s.admission.Unlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	if f, ok := s.flights[key]; ok {
+		s.counters.dedupHits.Add(1)
+		return f, nil
+	}
+	f := &flight{key: key, rv: rv, done: make(chan struct{})}
+	select {
+	case s.queue <- f:
+	default:
+		return nil, errQueueFull
+	}
+	s.flights[key] = f
+	s.inflight.Add(1)
+	s.inflightGauge.Add(1)
+	return f, nil
+}
+
+// submitRetry is submit with bounded retry on queue-full, for sweep
+// submissions that should ride out transient pressure instead of failing
+// items. Drain and validation failures are returned immediately.
+func (s *Server) submitRetry(ctx context.Context, req shelfsim.Request) (*flight, error) {
+	backoff := 5 * time.Millisecond
+	for {
+		f, err := s.submit(req)
+		if !errors.Is(err, errQueueFull) {
+			return f, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 80*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// worker drains the queue until Close.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for f := range s.queue {
+		s.execute(f)
+	}
+}
+
+// execute runs one flight to completion and releases its waiters. The job
+// runs under a background context: a deduplicated flight may outlive any
+// single submitter, so its lifetime is bounded by the runner's wall-clock
+// timeout and cycle budget, not by client disconnects.
+func (s *Server) execute(f *flight) {
+	if gate := s.execGate; gate != nil {
+		gate(f.key)
+	}
+	s.counters.executed.Add(1)
+	res, simErr := s.run.Execute(context.Background(), runner.Job{
+		Config:  f.rv.Config,
+		Mix:     f.rv.Mix,
+		Warmup:  f.rv.Warmup,
+		Measure: f.rv.Insts,
+	})
+
+	// Remove the flight before publishing: a duplicate arriving after this
+	// point starts a fresh execution instead of attaching to a finished one
+	// (in-flight dedup only; results are not cached server-side).
+	s.admission.Lock()
+	delete(s.flights, f.key)
+	s.admission.Unlock()
+
+	if simErr != nil {
+		f.err = simErr
+		s.counters.failed.Add(1)
+	} else {
+		f.report = shelfsim.NewReport(f.rv, *res)
+		s.counters.completed.Add(1)
+		if res.Obs != nil {
+			s.telemetryMu.Lock()
+			if s.telemetry == nil {
+				s.telemetry = obs.New()
+			}
+			s.telemetry.Merge(res.Obs)
+			s.telemetryMu.Unlock()
+		}
+	}
+	s.inflightGauge.Add(-1)
+	close(f.done)
+	s.inflight.Done()
+}

@@ -1,0 +1,404 @@
+// Package serve implements shelfd's HTTP/JSON simulation service on top of
+// the public request API and the supervised runner: a bounded job queue
+// with backpressure (429 + Retry-After when full), deduplication of
+// identical in-flight requests onto one execution (keyed by the harness
+// cache key, i.e. the configuration fingerprint + mix + window), streaming
+// NDJSON progress for sweeps, health and metrics endpoints exporting the
+// merged observability snapshots, and graceful drain (admitted jobs
+// finish, new submissions are rejected). Everything is stdlib-only.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shelfsim"
+	"shelfsim/internal/obs"
+	"shelfsim/internal/runner"
+)
+
+// Options tunes the service. The zero value is ready for production-ish
+// defaults: a 64-deep queue, one worker per CPU, a 2-minute job timeout.
+type Options struct {
+	// QueueDepth bounds the number of admitted-but-unfinished jobs beyond
+	// the ones executing; a full queue rejects submissions with 429
+	// (default 64).
+	QueueDepth int
+	// Workers is the number of concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// JobTimeout bounds one job's wall-clock time (default 2m; negative
+	// disables the limit).
+	JobTimeout time.Duration
+	// CyclesPerInst scales the per-job cycle budget, aborting deadlocked
+	// simulations (default shelfsim.DefaultMaxCyclesPerInst).
+	CyclesPerInst int64
+	// RetryAfter is the backoff hint attached to 429 responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (o *Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 64
+}
+
+func (o *Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o *Options) jobTimeout() time.Duration {
+	if o.JobTimeout > 0 {
+		return o.JobTimeout
+	}
+	if o.JobTimeout < 0 {
+		return 0 // unlimited
+	}
+	return 2 * time.Minute
+}
+
+func (o *Options) cyclesPerInst() int64 {
+	if o.CyclesPerInst > 0 {
+		return o.CyclesPerInst
+	}
+	return shelfsim.DefaultMaxCyclesPerInst
+}
+
+func (o *Options) retryAfter() time.Duration {
+	if o.RetryAfter > 0 {
+		return o.RetryAfter
+	}
+	return time.Second
+}
+
+func (o *Options) maxBodyBytes() int64 {
+	if o.MaxBodyBytes > 0 {
+		return o.MaxBodyBytes
+	}
+	return 1 << 20
+}
+
+// Counters is the service's cumulative accounting, exported by /metrics.
+type Counters struct {
+	// Submitted counts run submissions (including rejected ones).
+	Submitted int64 `json:"submitted"`
+	// Executed counts simulations actually started; Submitted - Executed -
+	// rejections = deduplicated shares.
+	Executed int64 `json:"executed"`
+	// DedupHits counts submissions that attached to an identical in-flight
+	// job instead of executing.
+	DedupHits int64 `json:"dedup_hits"`
+	// Completed and Failed count finished executions by outcome.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// RejectedQueueFull and RejectedDraining count 429 responses by cause.
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	// BadRequests counts 400 responses (malformed or invalid requests).
+	BadRequests int64 `json:"bad_requests"`
+}
+
+// counters is the atomic backing store for Counters.
+type counters struct {
+	submitted, executed, dedupHits   atomic.Int64
+	completed, failed                atomic.Int64
+	rejectedQueueFull, rejectedDrain atomic.Int64
+	badRequests                      atomic.Int64
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		Submitted:         c.submitted.Load(),
+		Executed:          c.executed.Load(),
+		DedupHits:         c.dedupHits.Load(),
+		Completed:         c.completed.Load(),
+		Failed:            c.failed.Load(),
+		RejectedQueueFull: c.rejectedQueueFull.Load(),
+		RejectedDraining:  c.rejectedDrain.Load(),
+		BadRequests:       c.badRequests.Load(),
+	}
+}
+
+// ErrorBody is the JSON error envelope. Field carries the offending
+// request/config field for 400s, so clients can attribute failures without
+// parsing messages; RetryAfterMs mirrors the Retry-After header on 429s.
+type ErrorBody struct {
+	Error        string `json:"error"`
+	Field        string `json:"field,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	// Status is "ok" while admitting and "draining" after BeginDrain.
+	Status string `json:"status"`
+	// QueueLen and QueueDepth describe the bounded queue's occupancy.
+	QueueLen   int `json:"queue_len"`
+	QueueDepth int `json:"queue_depth"`
+	// InFlight counts admitted-but-unfinished jobs (queued + executing).
+	InFlight int64 `json:"in_flight"`
+	// Workers is the simulation worker-pool size.
+	Workers int `json:"workers"`
+	// UptimeMs is milliseconds since the server was created.
+	UptimeMs int64 `json:"uptime_ms"`
+	// SchemaVersion is the wire schema this server speaks.
+	SchemaVersion int `json:"schema_version"`
+}
+
+// Metrics is the /metrics body: service counters plus the merged
+// observability snapshot of every telemetry-enabled job served so far.
+type Metrics struct {
+	Counters  Counters            `json:"counters"`
+	InFlight  int64               `json:"in_flight"`
+	Telemetry *shelfsim.Telemetry `json:"telemetry,omitempty"`
+}
+
+// Server is the simulation service. Create it with New, mount it as an
+// http.Handler, and stop it with BeginDrain + Wait + Close.
+type Server struct {
+	opts  Options
+	run   *runner.Runner
+	mux   *http.ServeMux
+	queue chan *flight
+	start time.Time
+
+	// admission guards the draining flag, the dedup map and enqueueing, so
+	// drain-vs-submit and dedup-vs-completion transitions are atomic.
+	admission sync.Mutex
+	draining  bool
+	flights   map[string]*flight
+
+	inflight      sync.WaitGroup
+	inflightGauge atomic.Int64
+	workers       sync.WaitGroup
+	closeOnce     sync.Once
+
+	counters counters
+
+	telemetryMu sync.Mutex
+	telemetry   *obs.Collector
+
+	// execGate, when set (tests only), is called by a worker immediately
+	// before executing a job; blocking it holds the job in flight.
+	execGate func(cacheKey string)
+}
+
+// New builds the service and starts its worker pool.
+func New(opts Options) *Server {
+	s := &Server{
+		opts: opts,
+		run: &runner.Runner{
+			Timeout:       opts.jobTimeout(),
+			CyclesPerInst: opts.cyclesPerInst(),
+			// One attempt, no halved-window retry: a request must always
+			// measure the same window or result fingerprints would depend
+			// on server load.
+			MaxAttempts: 1,
+		},
+		queue:   make(chan *flight, opts.queueDepth()),
+		flights: make(map[string]*flight),
+		start:   time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/kernels", s.handleKernels)
+	for i := 0; i < opts.workers(); i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// BeginDrain stops admission: every subsequent submission is rejected with
+// 429 while already-admitted jobs keep executing. Idempotent.
+func (s *Server) BeginDrain() {
+	s.admission.Lock()
+	s.draining = true
+	s.admission.Unlock()
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.admission.Lock()
+	defer s.admission.Unlock()
+	return s.draining
+}
+
+// Wait blocks until every admitted job has finished, or ctx expires.
+func (s *Server) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w (jobs in flight: %d)",
+			ctx.Err(), s.inflightGauge.Load())
+	}
+}
+
+// Close stops the worker pool. Call after BeginDrain + Wait; jobs still
+// queued are abandoned unexecuted (their waiters receive an error).
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.closeOnce.Do(func() { close(s.queue) })
+	s.workers.Wait()
+}
+
+// Counters returns a snapshot of the service's cumulative accounting.
+func (s *Server) Counters() Counters { return s.counters.snapshot() }
+
+// writeJSON renders one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+// errorBody maps an error to its wire envelope, extracting the typed field
+// attribution when present.
+func errorBody(err error) ErrorBody {
+	body := ErrorBody{Error: err.Error()}
+	var fe *shelfsim.FieldError
+	if errors.As(err, &fe) {
+		body.Field = fe.Field
+	}
+	return body
+}
+
+// writeBusy emits the 429 backpressure response with its Retry-After hint.
+func (s *Server) writeBusy(w http.ResponseWriter, msg string) {
+	ra := s.opts.retryAfter()
+	w.Header().Set("Retry-After", strconv.Itoa(int((ra+time.Second-1)/time.Second)))
+	writeJSON(w, http.StatusTooManyRequests, ErrorBody{
+		Error:        msg,
+		RetryAfterMs: ra.Milliseconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, Health{
+		Status:        status,
+		QueueLen:      len(s.queue),
+		QueueDepth:    s.opts.queueDepth(),
+		InFlight:      s.inflightGauge.Load(),
+		Workers:       s.opts.workers(),
+		UptimeMs:      time.Since(s.start).Milliseconds(),
+		SchemaVersion: shelfsim.SchemaVersion,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := Metrics{
+		Counters: s.counters.snapshot(),
+		InFlight: s.inflightGauge.Load(),
+	}
+	s.telemetryMu.Lock()
+	if s.telemetry != nil {
+		snap := s.telemetry.Snapshot()
+		m.Telemetry = &snap
+	}
+	s.telemetryMu.Unlock()
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	type kernelInfo struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	ks := shelfsim.Kernels()
+	out := make([]kernelInfo, len(ks))
+	for i, k := range ks {
+		out[i] = kernelInfo{Name: k.Name, Description: k.Description}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// decodeRequest parses one Request body strictly (unknown fields are
+// schema violations under the versioned wire format).
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.maxBodyBytes()))
+	dec.DisallowUnknownFields()
+	return dec.Decode(into)
+}
+
+// handleRun is POST /v1/run: decode, validate (400 with field on error),
+// submit through the dedup queue (429 + Retry-After under pressure or
+// drain), wait, and answer with the versioned Report.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: "POST a shelfsim.Request"})
+		return
+	}
+	s.counters.submitted.Add(1)
+	var req shelfsim.Request
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		s.counters.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("decoding request: %w", err)))
+		return
+	}
+	f, err := s.submit(req)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		// The client went away; the job keeps running for deduplicated
+		// waiters and for the telemetry/metrics it feeds.
+		return
+	}
+	if f.err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody(f.err))
+		return
+	}
+	writeJSON(w, http.StatusOK, f.report)
+}
+
+// writeSubmitError maps a submission failure onto its HTTP status.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errDraining):
+		s.counters.rejectedDrain.Add(1)
+		s.writeBusy(w, "server draining")
+	case errors.Is(err, errQueueFull):
+		s.counters.rejectedQueueFull.Add(1)
+		s.writeBusy(w, "job queue full")
+	default:
+		s.counters.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody(err))
+	}
+}

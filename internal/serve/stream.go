@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"shelfsim"
+)
+
+// SweepRequest is the /v1/sweep body: a batch of simulation requests
+// executed through the same queue/dedup machinery as /v1/run, with results
+// streamed back as they complete.
+type SweepRequest struct {
+	Requests []shelfsim.Request `json:"requests"`
+}
+
+// maxSweepItems bounds one sweep submission.
+const maxSweepItems = 4096
+
+// StreamEvent is one NDJSON line of a /v1/sweep response. The stream opens
+// with an "accepted" event (Total set), carries one "result" or "error"
+// event per request in completion order (Index identifies the request in
+// the submitted batch), and closes with a "done" summary.
+type StreamEvent struct {
+	Type      string           `json:"type"`
+	Index     int              `json:"index"`
+	Total     int              `json:"total,omitempty"`
+	Completed int              `json:"completed,omitempty"`
+	Failed    int              `json:"failed,omitempty"`
+	Report    *shelfsim.Report `json:"report,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	Field     string           `json:"field,omitempty"`
+}
+
+// handleSweep is POST /v1/sweep: NDJSON progress streaming for long
+// sweeps. Items share in-flight executions with each other and with
+// concurrent /v1/run submissions (the dedup layer is common), and a full
+// queue delays items instead of failing them.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: "POST a serve.SweepRequest"})
+		return
+	}
+	var sweep SweepRequest
+	if err := s.decodeRequest(w, r, &sweep); err != nil {
+		s.counters.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("decoding sweep: %w", err)))
+		return
+	}
+	if len(sweep.Requests) == 0 {
+		s.counters.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "empty sweep", Field: "requests"})
+		return
+	}
+	if len(sweep.Requests) > maxSweepItems {
+		s.counters.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorBody{
+			Error: fmt.Sprintf("sweep of %d requests exceeds the %d-item limit", len(sweep.Requests), maxSweepItems),
+			Field: "requests",
+		})
+		return
+	}
+
+	ctx := r.Context()
+	events := make(chan StreamEvent, len(sweep.Requests))
+	var wg sync.WaitGroup
+	for i := range sweep.Requests {
+		wg.Add(1)
+		go func(idx int, req shelfsim.Request) {
+			defer wg.Done()
+			events <- s.runSweepItem(ctx, idx, req)
+		}(i, sweep.Requests[i])
+	}
+	go func() {
+		wg.Wait()
+		close(events)
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	writeEvent := func(ev StreamEvent) {
+		_ = enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	writeEvent(StreamEvent{Type: "accepted", Total: len(sweep.Requests)})
+	completed, failed := 0, 0
+	for ev := range events {
+		if ev.Type == "result" {
+			completed++
+		} else {
+			failed++
+		}
+		writeEvent(ev)
+	}
+	writeEvent(StreamEvent{Type: "done", Total: len(sweep.Requests), Completed: completed, Failed: failed})
+}
+
+// runSweepItem submits one sweep item and waits for its outcome.
+func (s *Server) runSweepItem(ctx context.Context, idx int, req shelfsim.Request) StreamEvent {
+	s.counters.submitted.Add(1)
+	f, err := s.submitRetry(ctx, req)
+	if err != nil {
+		body := errorBody(err)
+		return StreamEvent{Type: "error", Index: idx, Error: body.Error, Field: body.Field}
+	}
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return StreamEvent{Type: "error", Index: idx, Error: ctx.Err().Error()}
+	}
+	if f.err != nil {
+		body := errorBody(f.err)
+		return StreamEvent{Type: "error", Index: idx, Error: body.Error, Field: body.Field}
+	}
+	return StreamEvent{Type: "result", Index: idx, Report: &f.report}
+}

@@ -1,0 +1,162 @@
+package shelfsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport is a hand-constructed fixture, not a simulation output: the
+// golden file locks the wire schema (field names, nesting, version stamp),
+// and must not churn when simulator timing changes.
+func goldenReport() Report {
+	obs := Telemetry{
+		Cycles: 1234,
+		Steer: map[string]SteerCount{
+			"alu": {Shelf: 40, IQ: 60},
+		},
+		Delays: map[string]DelaySummary{
+			"iq.alu": {Count: 60, MeanIssueDelay: 1.5, MeanCompleteDelay: 2.5},
+		},
+		DispatchSlots: []int64{1, 2, 3, 4, 5},
+		IssueSlots:    []int64{5, 4, 3, 2, 1},
+		Squashes:      map[string]int64{"branch-mispredict": 7},
+		Occupancy: map[string]OccupancySummary{
+			"rob": {Mean: 31.5, Max: 64},
+		},
+	}
+	rep := Report{
+		SchemaVersion:     SchemaVersion,
+		Config:            "shelf64-opt",
+		ConfigFingerprint: "00deadbeef00cafe",
+		ResultFingerprint: "00feedface00beef",
+		CacheKey:          "00deadbeef00cafe/mix00[stream+branchy]/250/500",
+		Cycles:            1234,
+		Threads: []ThreadReport{
+			{
+				Workload: "stream", Retired: 500, Fetched: 620, FinishCycle: 1200,
+				CPI: 2.4, InSeqFraction: 0.25, ShelfFraction: 0.3,
+				SteerShelf: 150, SteerIQ: 350, Squashes: 3, Mispredicts: 2,
+				MemViolations: 1, LoadForwards: 11, StoreCoalesce: 4,
+			},
+			{
+				Workload: "branchy", Retired: 500, Fetched: 700, FinishCycle: 1234,
+				CPI: 2.468, InSeqFraction: 0.4, ShelfFraction: 0.45,
+				SteerShelf: 210, SteerIQ: 290, Squashes: 21, Mispredicts: 19,
+			},
+		},
+		L1I: CacheStats{Hits: 1000, Misses: 10, Fills: 10},
+		L1D: CacheStats{Hits: 800, Misses: 40, Evictions: 12, Writebacks: 6, Fills: 40, WriteHits: 200, WriteMisses: 9},
+		L2:  CacheStats{Hits: 30, Misses: 20, Fills: 20},
+		Obs: &obs,
+	}
+	rep.Stats.Cycles = 1234
+	rep.Stats.Fetched = 1320
+	rep.Stats.Renames = 1100
+	rep.Stats.Issues = 1050
+	rep.Stats.Retired = 1000
+	rep.Stats.ShelfIssues = 360
+	rep.Stats.Squashes = 24
+	rep.Stats.IQOccupancy = 19000
+	rep.Stats.ROBOccupancy = 39000
+	return rep
+}
+
+// TestReportGoldenRoundTrip locks the versioned wire schema: the fixture
+// must marshal byte-for-byte to the checked-in golden file, and the golden
+// file must decode and re-encode without loss. Run with -update to accept
+// an intentional schema change (and bump SchemaVersion if it is
+// incompatible).
+func TestReportGoldenRoundTrip(t *testing.T) {
+	path := filepath.Join("testdata", "report_v1.golden.json")
+	got, err := json.MarshalIndent(goldenReport(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestReportGolden -update .` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report wire format drifted from %s; if intentional, re-run with -update and bump SchemaVersion on incompatible changes\ngot:\n%s", path, got)
+	}
+
+	// Decode → re-encode must be lossless.
+	rep, err := DecodeReport(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again = append(again, '\n')
+	if !bytes.Equal(again, want) {
+		t.Error("report JSON round trip is lossy")
+	}
+}
+
+// TestDecodeReportRejectsUnknownVersion: a report stamped with a future
+// schema version must fail loudly.
+func TestDecodeReportRejectsUnknownVersion(t *testing.T) {
+	rep := goldenReport()
+	rep.SchemaVersion = SchemaVersion + 1
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeReport(data); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+}
+
+// TestRunReportCarriesIdentity: a real run's report is stamped with the
+// schema version, both fingerprints and the cache key, and its result
+// fingerprint matches the underlying Result.
+func TestRunReportCarriesIdentity(t *testing.T) {
+	req := Request{Preset: "base64", Kernels: []string{"ilpmax"}, Insts: 400}
+	rep, err := RunReport(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version %d", rep.SchemaVersion)
+	}
+	res, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResultFingerprint != res.Fingerprint() {
+		t.Errorf("report fingerprint %s != result fingerprint %s", rep.ResultFingerprint, res.Fingerprint())
+	}
+	key, err := req.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheKey != key {
+		t.Errorf("report cache key %q != request cache key %q", rep.CacheKey, key)
+	}
+	rv, err := req.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConfigFingerprint != rv.Config.Fingerprint() {
+		t.Errorf("config fingerprint mismatch")
+	}
+}

@@ -1,0 +1,312 @@
+package shelfsim
+
+import (
+	"context"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/harness"
+	"shelfsim/internal/runner"
+	"shelfsim/internal/workload"
+)
+
+// FieldError is a typed validation failure naming the offending request or
+// configuration field. Every invalid Request resolves to one of these, so
+// callers — CLIs and the shelfd HTTP front end alike — can attribute the
+// failure to a field without parsing messages.
+type FieldError = config.FieldError
+
+// SimError is a supervised run's structured failure (config, mix, cycle,
+// thread, message). Run returns it for simulation-time failures: recovered
+// panics, invariant violations, cycle budgets and wall-clock limits.
+type SimError = runner.SimError
+
+// Request is the one description of a simulation accepted by every entry
+// point: the library API (Run), the shelfd network service and its client
+// package all exchange this JSON-serializable type, so a job that ran
+// locally can be replayed against a server byte-for-byte and vice versa.
+//
+// A request names its configuration either by Preset (with optional
+// Overrides) — the wire-friendly path — or by embedding a full Config.
+// The workload is a list of kernel names, one per thread; library callers
+// may instead supply custom Streams, which never travel over the wire.
+type Request struct {
+	// Preset names a Table I configuration: "base64", "base128",
+	// "shelf64-opt", "shelf64-cons" or "coarse64". Mutually exclusive with
+	// Config.
+	Preset string `json:"preset,omitempty"`
+	// Config embeds a complete configuration, for callers that need full
+	// control. Mutually exclusive with Preset.
+	Config *Config `json:"config,omitempty"`
+	// Overrides adjusts individual fields on top of the preset or config.
+	Overrides *Overrides `json:"overrides,omitempty"`
+
+	// Threads is the SMT thread count; 0 derives it from the workload
+	// (one thread per kernel or stream).
+	Threads int `json:"threads,omitempty"`
+	// Kernels names the workload, one kernel per thread.
+	Kernels []string `json:"kernels,omitempty"`
+	// Streams supplies caller-provided instruction streams instead of
+	// kernels (custom workloads, recorded traces). Library-only: it is
+	// excluded from the wire format.
+	Streams []Stream `json:"-"`
+
+	// Insts is the measured window, in retired instructions per thread.
+	Insts int64 `json:"insts"`
+	// Warmup is the cache/predictor training window preceding measurement;
+	// nil selects the paper's default of Insts/2.
+	Warmup *int64 `json:"warmup,omitempty"`
+}
+
+// Overrides adjusts individual configuration fields on top of a Request's
+// preset or embedded config. Pointer fields distinguish "unset" from an
+// explicit zero, so a JSON request only overrides what it names.
+type Overrides struct {
+	// Steer overrides the steering policy by name: "all-iq", "all-shelf",
+	// "oracle", "practical" or "coarse".
+	Steer *string `json:"steer,omitempty"`
+	// CoarseInterval overrides the coarse-grain switching interval.
+	CoarseInterval *int64 `json:"coarse_interval,omitempty"`
+	// ROB, IQ, LQ, SQ, PRF and Shelf override the window structure sizes.
+	ROB   *int `json:"rob,omitempty"`
+	IQ    *int `json:"iq,omitempty"`
+	LQ    *int `json:"lq,omitempty"`
+	SQ    *int `json:"sq,omitempty"`
+	PRF   *int `json:"prf,omitempty"`
+	Shelf *int `json:"shelf,omitempty"`
+	// Telemetry attaches the per-core observability collector to the run.
+	Telemetry *bool `json:"telemetry,omitempty"`
+	// CheckInvariants enables the per-cycle invariant checker.
+	CheckInvariants *bool `json:"check_invariants,omitempty"`
+	// Name relabels the configuration in reports.
+	Name *string `json:"name,omitempty"`
+}
+
+// steerByName maps wire names to steering policies (the inverse of
+// SteerKind.String).
+func steerByName(name string) (SteerKind, error) {
+	for s := SteerAllIQ; s <= SteerCoarse; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, config.Fielderrf("overrides.steer", "unknown steering policy %q", name)
+}
+
+// apply folds the overrides into cfg.
+func (o *Overrides) apply(cfg *Config) error {
+	if o == nil {
+		return nil
+	}
+	if o.Steer != nil {
+		s, err := steerByName(*o.Steer)
+		if err != nil {
+			return err
+		}
+		cfg.Steer = s
+		if s == SteerCoarse && cfg.CoarseInterval == 0 {
+			cfg.CoarseInterval = defaultCoarseInterval
+		}
+	}
+	if o.CoarseInterval != nil {
+		cfg.CoarseInterval = *o.CoarseInterval
+	}
+	for _, f := range []struct {
+		v   *int
+		dst *int
+	}{{o.ROB, &cfg.ROB}, {o.IQ, &cfg.IQ}, {o.LQ, &cfg.LQ},
+		{o.SQ, &cfg.SQ}, {o.PRF, &cfg.PRF}, {o.Shelf, &cfg.Shelf}} {
+		if f.v != nil {
+			*f.dst = *f.v
+		}
+	}
+	if o.Telemetry != nil {
+		cfg.Telemetry = *o.Telemetry
+	}
+	if o.CheckInvariants != nil {
+		cfg.CheckInvariants = *o.CheckInvariants
+	}
+	if o.Name != nil {
+		cfg.Name = *o.Name
+	}
+	return nil
+}
+
+// defaultCoarseInterval is the switching interval used when a request asks
+// for coarse steering without naming one (prior coarse-grain designs
+// switch at thousand-instruction granularity).
+const defaultCoarseInterval = 1000
+
+// Resolved is a Request after validation: a concrete configuration, the
+// workload mix (or custom streams) and the measurement window.
+type Resolved struct {
+	Config  Config
+	Mix     Mix
+	Streams []Stream
+	Warmup  int64
+	Insts   int64
+}
+
+// CacheKey is the canonical identity of the resolved simulation — the
+// configuration fingerprint, mix identity and measurement window. The
+// harness memoizes on it and shelfd deduplicates in-flight jobs with it.
+func (rv *Resolved) CacheKey() string {
+	return harness.CacheKey(&rv.Config, rv.Mix, rv.Warmup, rv.Insts)
+}
+
+// Resolve validates the request and materializes the configuration and
+// workload. Every failure is a *FieldError naming the offending field.
+func (r Request) Resolve() (Resolved, error) {
+	var rv Resolved
+
+	if len(r.Kernels) > 0 && len(r.Streams) > 0 {
+		return rv, config.Fielderrf("kernels", "request names both kernels and custom streams")
+	}
+	threads := r.Threads
+	if threads == 0 {
+		threads = len(r.Kernels) + len(r.Streams)
+	}
+	if threads <= 0 {
+		return rv, config.Fielderrf("threads", "no thread count and no workload to derive it from")
+	}
+
+	switch {
+	case r.Config != nil && r.Preset != "":
+		return rv, config.Fielderrf("preset", "request has both a preset %q and an embedded config", r.Preset)
+	case r.Config != nil:
+		rv.Config = *r.Config
+		if r.Threads > 0 && rv.Config.Threads != r.Threads {
+			return rv, config.Fielderrf("threads", "request thread count %d contradicts config thread count %d",
+				r.Threads, rv.Config.Threads)
+		}
+	default:
+		switch r.Preset {
+		case "base64":
+			rv.Config = Base64(threads)
+		case "base128":
+			rv.Config = Base128(threads)
+		case "shelf64-opt":
+			rv.Config = Shelf64(threads, true)
+		case "shelf64-cons":
+			rv.Config = Shelf64(threads, false)
+		case "coarse64":
+			rv.Config = Coarse64(threads, defaultCoarseInterval)
+		case "":
+			return rv, config.Fielderrf("preset", "request names neither a preset nor a config")
+		default:
+			return rv, config.Fielderrf("preset", "unknown preset %q (want base64, base128, shelf64-opt, shelf64-cons or coarse64)", r.Preset)
+		}
+	}
+	if err := r.Overrides.apply(&rv.Config); err != nil {
+		return rv, err
+	}
+
+	switch {
+	case len(r.Streams) > 0:
+		if len(r.Streams) != rv.Config.Threads {
+			return rv, config.Fielderrf("streams", "%d streams for %d threads", len(r.Streams), rv.Config.Threads)
+		}
+		for i, s := range r.Streams {
+			if s == nil {
+				return rv, config.Fielderrf("streams", "nil stream for thread %d", i)
+			}
+		}
+		rv.Streams = r.Streams
+	case len(r.Kernels) > 0:
+		if len(r.Kernels) != rv.Config.Threads {
+			return rv, config.Fielderrf("kernels", "%d kernels for %d threads", len(r.Kernels), rv.Config.Threads)
+		}
+		ks := make([]*Kernel, len(r.Kernels))
+		for i, name := range r.Kernels {
+			k, err := workload.ByName(name)
+			if err != nil {
+				return rv, config.Fielderrf("kernels", "thread %d: unknown kernel %q", i, name)
+			}
+			ks[i] = k
+		}
+		rv.Mix = Mix{ID: 0, Kernels: ks}
+	default:
+		return rv, config.Fielderrf("kernels", "request has no workload (no kernels, no streams)")
+	}
+
+	if r.Insts <= 0 {
+		return rv, config.Fielderrf("insts", "non-positive instruction count %d", r.Insts)
+	}
+	rv.Insts = r.Insts
+	if r.Warmup != nil {
+		if *r.Warmup < 0 {
+			return rv, config.Fielderrf("warmup", "negative warmup %d", *r.Warmup)
+		}
+		rv.Warmup = *r.Warmup
+	} else {
+		rv.Warmup = r.Insts / 2
+	}
+
+	if err := rv.Config.Validate(); err != nil {
+		return rv, err
+	}
+	return rv, nil
+}
+
+// CacheKey resolves the request and returns its canonical cache key —
+// identical requests (even after a JSON round trip) produce identical
+// keys. Stream-backed requests have no serializable identity and are
+// rejected.
+func (r Request) CacheKey() (string, error) {
+	rv, err := r.Resolve()
+	if err != nil {
+		return "", err
+	}
+	if rv.Streams != nil {
+		return "", config.Fielderrf("streams", "stream-backed requests have no canonical cache key")
+	}
+	return rv.CacheKey(), nil
+}
+
+// Run executes one simulation described by req under runner supervision:
+// panics in the core become structured *SimError failures, the context
+// cancels or bounds the run's wall-clock time, and the cycle budget of
+// DefaultMaxCyclesPerInst cycles per requested instruction aborts
+// deadlocks. It is the single entry point behind the deprecated Run*
+// wrappers, the CLIs and the shelfd service, so all of them produce
+// bit-identical results for the same request.
+func Run(ctx context.Context, req Request) (Result, error) {
+	rv, err := req.Resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	return runResolved(ctx, rv)
+}
+
+// runResolved executes an already-validated request. The runner runs a
+// single attempt (no halved-window retry): the same request must always
+// measure the same window, or result fingerprints would depend on load.
+func runResolved(ctx context.Context, rv Resolved) (Result, error) {
+	r := &runner.Runner{CyclesPerInst: DefaultMaxCyclesPerInst, MaxAttempts: 1}
+	res, simErr := r.Execute(ctx, runner.Job{
+		Config:  rv.Config,
+		Mix:     rv.Mix,
+		Streams: rv.Streams,
+		Warmup:  rv.Warmup,
+		Measure: rv.Insts,
+	})
+	if simErr != nil {
+		return Result{}, simErr
+	}
+	return *res, nil
+}
+
+// kernelNames maps a kernel slice to registry names for the deprecated
+// wrappers, rejecting nils and unregistered kernels with typed errors.
+func kernelNames(kernels []*Kernel) ([]string, error) {
+	names := make([]string, len(kernels))
+	for i, k := range kernels {
+		if k == nil {
+			return nil, config.Fielderrf("kernels", "nil kernel for thread %d", i)
+		}
+		if _, err := workload.ByName(k.Name); err != nil {
+			return nil, config.Fielderrf("kernels", "thread %d: %v", i, err)
+		}
+		names[i] = k.Name
+	}
+	return names, nil
+}

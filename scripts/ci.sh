@@ -27,6 +27,33 @@ go test -race ./...
 # multi-worker sweep must equal the serial merge, with no data races.
 go test -race -count=1 -run TestTelemetryParallelMergeMatchesSerial ./internal/runner/...
 
+# Serving-layer race gate, run explicitly for the same reason: the shelfd
+# queue/dedup/drain machinery and the typed client are all about concurrent
+# admission, so their suites must always execute under -race, uncached.
+go test -race -count=1 ./internal/serve/ ./client/
+
+# shelfd end-to-end smoke: build the server with -race, boot it on an
+# ephemeral port, drive a concurrent duplicate burst through the typed
+# client (TestExternalServerSmoke asserts /healthz, pairwise fingerprint
+# identity and the /metrics dedup accounting), then SIGTERM it and require
+# a clean graceful-drain exit code.
+SHELFD="${SHELFD:-/tmp/shelfsim-tools/shelfd}"
+go build -race -o "$SHELFD" ./cmd/shelfd
+ADDRFILE="$(mktemp)"
+rm -f "$ADDRFILE" # shelfd rewrites it once the listener is bound
+"$SHELFD" -addr 127.0.0.1:0 -addrfile "$ADDRFILE" &
+SHELFD_PID=$!
+tries=0
+while [ ! -s "$ADDRFILE" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || { echo "shelfd did not come up"; exit 1; }
+    sleep 0.1
+done
+SHELFD_ADDR="$(cat "$ADDRFILE")" go test -race -count=1 -run TestExternalServerSmoke ./client/
+kill -TERM "$SHELFD_PID"
+wait "$SHELFD_PID" # non-zero here means the graceful drain failed
+rm -f "$ADDRFILE"
+
 # Telemetry overhead gate. The telemetry-off hot path differs from the seed
 # only by nil-receiver checks on the collector, so off-vs-on measured in one
 # process is the stable proxy for off-vs-seed (a cross-commit rerun would

@@ -6,15 +6,22 @@
 //
 // Quick start:
 //
-//	cfg := shelfsim.Shelf64(4, true) // 4-thread base64 + 64-entry shelf
-//	res, err := shelfsim.RunKernels(cfg, []string{"stream", "ptrchase", "branchy", "matblock"}, 100_000)
+//	res, err := shelfsim.Run(ctx, shelfsim.Request{
+//		Preset:  "shelf64-opt",
+//		Kernels: []string{"stream", "ptrchase", "branchy", "matblock"},
+//		Insts:   100_000,
+//	})
 //
-// See examples/ for complete programs and cmd/experiments for the
-// harness that regenerates every figure and table in the paper.
+// Request is both the library entry point and the shelfd wire format: the
+// same JSON document runs in-process, over HTTP against cmd/shelfd, or
+// through the shelfsim/client package, with bit-identical results. See
+// examples/ for complete programs, cmd/experiments for the harness that
+// regenerates every figure and table in the paper, and cmd/shelfd for the
+// network service.
 package shelfsim
 
 import (
-	"fmt"
+	"context"
 
 	"shelfsim/internal/config"
 	"shelfsim/internal/core"
@@ -47,6 +54,9 @@ const (
 
 // Result is a completed run's summary; Threads holds per-thread outcomes.
 type Result = core.Result
+
+// Stats is the core-wide counter set of a run.
+type Stats = core.Stats
 
 // ThreadResult summarizes one thread of a run.
 type ThreadResult = core.ThreadResult
@@ -86,10 +96,6 @@ func KernelByName(name string) (*Kernel, error) { return workload.ByName(name) }
 // PaperMixes returns the 28 balanced-random mixes used by the evaluation.
 func PaperMixes(threads int) []Mix { return workload.PaperMixes(threads) }
 
-// threadAddressStride separates per-thread data regions (threads in a
-// multiprogrammed mix occupy disjoint address spaces).
-const threadAddressStride = 1 << 32
-
 // DefaultMaxCyclesPerInst bounds runaway simulations: a run aborts after
 // this many cycles per requested instruction.
 const DefaultMaxCyclesPerInst = 64
@@ -97,7 +103,9 @@ const DefaultMaxCyclesPerInst = 64
 // RunMix simulates cfg over one kernel per thread for instsPerThread
 // retired instructions each, after a warmup of instsPerThread/2 (caches
 // and predictors train before measurement, as the paper's SimPoint warmup
-// does). Use RunMixWarm for explicit control.
+// does).
+//
+// Deprecated: use Run with a Request.
 func RunMix(cfg Config, kernels []*Kernel, instsPerThread int64) (Result, error) {
 	return RunMixWarm(cfg, kernels, instsPerThread/2, instsPerThread)
 }
@@ -105,54 +113,31 @@ func RunMix(cfg Config, kernels []*Kernel, instsPerThread int64) (Result, error)
 // RunMixWarm simulates cfg over one kernel per thread: warmup retired
 // instructions of cache/predictor training followed by a measured window
 // of instsPerThread retired instructions.
+//
+// Deprecated: use Run with a Request (set Warmup for explicit control).
 func RunMixWarm(cfg Config, kernels []*Kernel, warmup, instsPerThread int64) (Result, error) {
-	if len(kernels) != cfg.Threads {
-		return Result{}, fmt.Errorf("shelfsim: %d kernels for %d threads", len(kernels), cfg.Threads)
-	}
-	if instsPerThread <= 0 {
-		return Result{}, fmt.Errorf("shelfsim: non-positive instruction count %d", instsPerThread)
-	}
-	streams := make([]isa.Stream, len(kernels))
-	for i, k := range kernels {
-		if k == nil {
-			return Result{}, fmt.Errorf("shelfsim: nil kernel for thread %d", i)
-		}
-		base := uint64(i+1) * threadAddressStride
-		// Streams are unbounded; the core ends each thread's measurement
-		// window at the retire target while the thread keeps contending.
-		streams[i] = k.NewStream(base, uint64(i)*0x9e37+1, -1)
-	}
-	c, err := core.New(cfg, streams)
+	names, err := kernelNames(kernels)
 	if err != nil {
 		return Result{}, err
 	}
-	if warmup < 0 {
-		return Result{}, fmt.Errorf("shelfsim: negative warmup %d", warmup)
-	}
-	c.SetRetireTargets(warmup, instsPerThread)
-	maxCycles := (warmup + instsPerThread) * int64(cfg.Threads) * DefaultMaxCyclesPerInst
-	if _, finished := c.Run(maxCycles); !finished {
-		return c.Result(), fmt.Errorf("shelfsim: %s did not finish within %d cycles (possible deadlock)",
-			cfg.Name, maxCycles)
-	}
-	return c.Result(), nil
+	return Run(context.Background(), Request{
+		Config: &cfg, Kernels: names, Warmup: &warmup, Insts: instsPerThread,
+	})
 }
 
 // RunKernels is RunMix with kernels given by name.
+//
+// Deprecated: use Run with a Request.
 func RunKernels(cfg Config, names []string, instsPerThread int64) (Result, error) {
-	ks := make([]*Kernel, len(names))
-	for i, n := range names {
-		k, err := workload.ByName(n)
-		if err != nil {
-			return Result{}, err
-		}
-		ks[i] = k
-	}
-	return RunMix(cfg, ks, instsPerThread)
+	return Run(context.Background(), Request{
+		Config: &cfg, Kernels: names, Insts: instsPerThread,
+	})
 }
 
 // RunSingle simulates one kernel alone on a single-threaded variant of cfg
 // (full, unpartitioned resources), the normalization point for STP.
+//
+// Deprecated: use Run with a single-kernel Request.
 func RunSingle(cfg Config, k *Kernel, insts int64) (Result, error) {
 	single := cfg
 	single.Threads = 1
@@ -164,22 +149,10 @@ func RunSingle(cfg Config, k *Kernel, insts int64) (Result, error) {
 // per thread) — custom workloads or recorded traces. Streams must be
 // bounded or the retire targets must be reachable; each thread's
 // measurement covers `insts` retired instructions after `warmup`.
+//
+// Deprecated: use Run with a Request carrying Streams.
 func RunStreams(cfg Config, streams []Stream, warmup, insts int64) (Result, error) {
-	if len(streams) != cfg.Threads {
-		return Result{}, fmt.Errorf("shelfsim: %d streams for %d threads", len(streams), cfg.Threads)
-	}
-	if insts <= 0 || warmup < 0 {
-		return Result{}, fmt.Errorf("shelfsim: bad window warmup=%d insts=%d", warmup, insts)
-	}
-	c, err := core.New(cfg, streams)
-	if err != nil {
-		return Result{}, err
-	}
-	c.SetRetireTargets(warmup, insts)
-	maxCycles := (warmup + insts) * int64(cfg.Threads) * DefaultMaxCyclesPerInst
-	if _, finished := c.Run(maxCycles); !finished {
-		return c.Result(), fmt.Errorf("shelfsim: %s did not finish within %d cycles",
-			cfg.Name, maxCycles)
-	}
-	return c.Result(), nil
+	return Run(context.Background(), Request{
+		Config: &cfg, Streams: streams, Warmup: &warmup, Insts: insts,
+	})
 }
