@@ -1,0 +1,125 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"shelfsim"
+)
+
+// RetryPolicy retries operations rejected with *BusyError using bounded
+// exponential backoff with jitter. Only backpressure is retried: every
+// other error — validation (*shelfsim.FieldError), transport failures,
+// non-429 statuses — is permanent and returned immediately.
+//
+//	p := client.NewRetryPolicy()
+//	rep, err := p.Run(ctx, c, req)
+//
+// The zero value is not usable; construct with NewRetryPolicy and adjust
+// fields before first use.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (initial attempt included).
+	MaxAttempts int
+	// BaseDelay seeds the exponential schedule: attempt n (1-based) waits
+	// BaseDelay * 2^(n-1), capped at MaxDelay. A *BusyError whose
+	// RetryAfter exceeds the scheduled delay stretches the wait to the
+	// server's hint.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff wait.
+	MaxDelay time.Duration
+	// Jitter scales a symmetric random perturbation of each wait:
+	// delay * [1-Jitter, 1+Jitter]. Zero disables jitter.
+	Jitter float64
+
+	// sleep and randFloat are injection points for tests (fake clock,
+	// deterministic jitter). Defaults honor ctx cancellation.
+	sleep     func(ctx context.Context, d time.Duration) error
+	randFloat func() float64
+}
+
+// NewRetryPolicy returns the default policy: 5 attempts, 100ms base,
+// 5s cap, 20% jitter.
+func NewRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    5 * time.Second,
+		Jitter:      0.2,
+		sleep:       sleepCtx,
+		randFloat:   rand.Float64,
+	}
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// delayFor computes the wait before the next try after attempt (1-based)
+// failed with busy.
+func (p *RetryPolicy) delayFor(attempt int, busy *BusyError) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	if busy.RetryAfter > d {
+		d = busy.RetryAfter
+	}
+	if p.Jitter > 0 {
+		rnd := rand.Float64
+		if p.randFloat != nil {
+			rnd = p.randFloat
+		}
+		factor := 1 + p.Jitter*(2*rnd()-1)
+		d = time.Duration(float64(d) * factor)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Do runs op, retrying *BusyError rejections per the policy. It returns
+// op's last error when attempts are exhausted, and the context's error if
+// cancellation interrupts a backoff wait.
+func (p *RetryPolicy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	doSleep := p.sleep
+	if doSleep == nil {
+		doSleep = sleepCtx
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op(ctx)
+		var busy *BusyError
+		if err == nil || !errors.As(err, &busy) || attempt >= attempts {
+			return err
+		}
+		if serr := doSleep(ctx, p.delayFor(attempt, busy)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// Run is Client.Run under the policy.
+func (p *RetryPolicy) Run(ctx context.Context, c *Client, req shelfsim.Request) (shelfsim.Report, error) {
+	var rep shelfsim.Report
+	err := p.Do(ctx, func(ctx context.Context) error {
+		var err error
+		rep, err = c.Run(ctx, req)
+		return err
+	})
+	return rep, err
+}

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"shelfsim"
+)
+
+// fakeClock records backoff waits instead of sleeping.
+type fakeClock struct {
+	waits []time.Duration
+	fail  error
+}
+
+func (f *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	f.waits = append(f.waits, d)
+	return f.fail
+}
+
+func testPolicy(clk *fakeClock) *RetryPolicy {
+	p := NewRetryPolicy()
+	p.Jitter = 0
+	p.sleep = clk.sleep
+	p.randFloat = func() float64 { return 0.5 }
+	return p
+}
+
+func TestRetryPolicyBackoffSchedule(t *testing.T) {
+	clk := &fakeClock{}
+	p := testPolicy(clk)
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return &BusyError{Message: "job queue full"}
+	})
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("final error %v is not *BusyError", err)
+	}
+	if calls != p.MaxAttempts {
+		t.Fatalf("op called %d times, want %d", calls, p.MaxAttempts)
+	}
+	// 4 waits between 5 attempts: 100ms, 200ms, 400ms, 800ms.
+	want := []time.Duration{100, 200, 400, 800}
+	if len(clk.waits) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(clk.waits), clk.waits, len(want))
+	}
+	for i, w := range want {
+		if clk.waits[i] != w*time.Millisecond {
+			t.Errorf("wait %d = %v, want %v", i, clk.waits[i], w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryPolicyHonorsRetryAfter(t *testing.T) {
+	clk := &fakeClock{}
+	p := testPolicy(clk)
+	calls := 0
+	_ = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			// Server hint above the scheduled 100ms stretches the wait.
+			return &BusyError{Message: "draining", RetryAfter: 750 * time.Millisecond}
+		}
+		return nil
+	})
+	if calls != 2 {
+		t.Fatalf("op called %d times, want 2", calls)
+	}
+	if len(clk.waits) != 1 || clk.waits[0] != 750*time.Millisecond {
+		t.Fatalf("waits = %v, want [750ms]", clk.waits)
+	}
+}
+
+func TestRetryPolicyMaxDelayCap(t *testing.T) {
+	clk := &fakeClock{}
+	p := testPolicy(clk)
+	p.MaxAttempts = 10
+	err := p.Do(context.Background(), func(context.Context) error {
+		return &BusyError{Message: "busy"}
+	})
+	if err == nil {
+		t.Fatal("expected final BusyError")
+	}
+	for i, w := range clk.waits {
+		if w > p.MaxDelay {
+			t.Errorf("wait %d = %v exceeds MaxDelay %v", i, w, p.MaxDelay)
+		}
+	}
+	if last := clk.waits[len(clk.waits)-1]; last != p.MaxDelay {
+		t.Errorf("deep-schedule wait = %v, want cap %v", last, p.MaxDelay)
+	}
+}
+
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	for _, rnd := range []float64{0, 0.5, 1} {
+		clk := &fakeClock{}
+		p := testPolicy(clk)
+		p.Jitter = 0.2
+		p.randFloat = func() float64 { return rnd }
+		p.MaxAttempts = 2
+		_ = p.Do(context.Background(), func(context.Context) error {
+			return &BusyError{Message: "busy"}
+		})
+		if len(clk.waits) != 1 {
+			t.Fatalf("rnd=%v: %d waits", rnd, len(clk.waits))
+		}
+		lo := time.Duration(float64(p.BaseDelay) * (1 - p.Jitter))
+		hi := time.Duration(float64(p.BaseDelay) * (1 + p.Jitter))
+		if w := clk.waits[0]; w < lo || w > hi {
+			t.Errorf("rnd=%v: wait %v outside [%v, %v]", rnd, w, lo, hi)
+		}
+	}
+}
+
+func TestRetryPolicyPermanentErrorsNotRetried(t *testing.T) {
+	for _, perm := range []error{
+		&shelfsim.FieldError{Field: "Insts", Msg: "non-positive"},
+		&StatusError{Code: 500, Message: "boom"},
+		errors.New("connection refused"),
+	} {
+		clk := &fakeClock{}
+		calls := 0
+		err := testPolicy(clk).Do(context.Background(), func(context.Context) error {
+			calls++
+			return perm
+		})
+		if !errors.Is(err, perm) {
+			t.Errorf("error %v lost (got %v)", perm, err)
+		}
+		if calls != 1 || len(clk.waits) != 0 {
+			t.Errorf("permanent error %v: %d calls, %d waits; want 1, 0", perm, calls, len(clk.waits))
+		}
+	}
+}
+
+func TestRetryPolicyContextCancelDuringWait(t *testing.T) {
+	clk := &fakeClock{fail: context.Canceled}
+	calls := 0
+	err := testPolicy(clk).Do(context.Background(), func(context.Context) error {
+		calls++
+		return &BusyError{Message: "busy"}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op called %d times after canceled wait, want 1", calls)
+	}
+}
+
+func TestRetryPolicySuccessFirstTry(t *testing.T) {
+	clk := &fakeClock{}
+	calls := 0
+	if err := testPolicy(clk).Do(context.Background(), func(context.Context) error {
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || len(clk.waits) != 0 {
+		t.Fatalf("%d calls, %d waits; want 1, 0", calls, len(clk.waits))
+	}
+}

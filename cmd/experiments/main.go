@@ -33,6 +33,7 @@ func main() {
 		faultCfg = flag.String("faultconfig", "", "inject an invariant violation into runs of this config name (test hook)")
 		faultMix = flag.String("faultmix", "", "confine -faultconfig's fault to this mix name (empty = every mix)")
 		faultCyc = flag.Int64("faultcycle", 1000, "cycle at which -faultconfig's fault fires")
+		faultKnd = flag.String("faultkind", "window", "what -faultconfig corrupts: window, store-drop or wakeup-tag")
 		obsOut   = flag.String("obs", "", "collect per-core telemetry and write the merged aggregate to this file (JSON, or CSV with a .csv extension)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -52,6 +53,14 @@ func main() {
 	h.FaultConfig = *faultCfg
 	h.FaultMix = *faultMix
 	h.FaultCycle = *faultCyc
+	if *faultCfg != "" {
+		kind, err := config.FaultKindByName(*faultKnd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		h.FaultKind = kind
+	}
 
 	// The four main configurations dominate the figures; validate them up
 	// front so a bad -threads value fails with a typed field error instead

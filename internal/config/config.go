@@ -57,6 +57,52 @@ func (s SteerKind) String() string {
 	}
 }
 
+// FaultKind enumerates the deliberate corruptions behind
+// Config.InjectFaultCycle. Each kind targets a different structure so the
+// torture harness can prove every class of silent state damage is caught
+// by a detector (an invariant check or a pipeline assertion) rather than
+// surfacing as a wrong-value run.
+type FaultKind uint8
+
+const (
+	// FaultWindow corrupts thread 0's ROB head pointer (the historical
+	// single-kind behaviour; detected by the rob-order invariant).
+	FaultWindow FaultKind = iota
+	// FaultStoreDrop silently removes a store queue head entry, modelling
+	// a dropped store-buffer slot (detected by the lsq-membership
+	// invariant, or by the sq-head retire assertion without checking).
+	FaultStoreDrop
+	// FaultWakeupTag marks a tag with registered wakeup waiters as ready
+	// without waking them, modelling scheduler tag corruption (detected by
+	// the sched-wakeup invariant).
+	FaultWakeupTag
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultWindow:
+		return "window"
+	case FaultStoreDrop:
+		return "store-drop"
+	case FaultWakeupTag:
+		return "wakeup-tag"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// FaultKindByName maps a wire/CLI name back to a FaultKind (the inverse
+// of FaultKind.String).
+func FaultKindByName(name string) (FaultKind, error) {
+	for k := FaultWindow; k <= FaultWakeupTag; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, Fielderrf("InjectFaultKind", "unknown fault kind %q", name)
+}
+
 // Config is the complete core + memory system configuration. All window
 // structure sizes are totals that are partitioned evenly across threads
 // where the paper partitions them (ROB, LQ, SQ, shelf, fetch buffers); the
@@ -157,10 +203,16 @@ type Config struct {
 	// core.InvariantError that supervised runners convert into a
 	// structured failure. Costs roughly 2-3x simulation time.
 	CheckInvariants bool
-	// InjectFaultCycle, when positive, deliberately corrupts the window at
-	// that cycle (robustness test hook): supervised sweeps use it to prove
-	// fault recovery without crashing the process. 0 disables injection.
+	// InjectFaultCycle, when positive, arms deliberate corruption from
+	// that cycle on (robustness test hook): supervised sweeps use it to
+	// prove fault recovery without crashing the process. The corruption
+	// fires at the first cycle >= InjectFaultCycle at which its target
+	// structure is populated, then disarms. 0 disables injection.
 	InjectFaultCycle int64
+	// InjectFaultKind selects what InjectFaultCycle corrupts: the window
+	// (ROB head), a store queue entry, or a wakeup tag. Meaningless — and
+	// rejected by Validate — without InjectFaultCycle.
+	InjectFaultKind FaultKind
 
 	// RescanScheduler selects the legacy O(window) select loop that rescans
 	// the whole IQ and re-derives source readiness every cycle, instead of
@@ -264,6 +316,10 @@ func (c *Config) Validate() error {
 		return Fielderrf("MemPorts", "non-positive memory port count %d", c.MemPorts)
 	case c.InjectFaultCycle < 0:
 		return Fielderrf("InjectFaultCycle", "negative fault-injection cycle %d", c.InjectFaultCycle)
+	case c.InjectFaultKind > FaultWakeupTag:
+		return Fielderrf("InjectFaultKind", "unknown fault kind %d", c.InjectFaultKind)
+	case c.InjectFaultKind != FaultWindow && c.InjectFaultCycle == 0:
+		return Fielderrf("InjectFaultKind", "fault kind %v set without an injection cycle", c.InjectFaultKind)
 	}
 	if err := c.Branch.Validate(); err != nil {
 		return wrapField("Branch", err)
@@ -287,7 +343,7 @@ func (c *Config) Validate() error {
 // checks the field-by-field coverage statically and a reflection test in
 // internal/harness checks this count (and per-field sensitivity) at run
 // time, so a field added without a fingerprint update fails both gates.
-const FingerprintFieldCount = 34
+const FingerprintFieldCount = 35
 
 // Fingerprint returns a stable hash of every configuration field,
 // enumerated explicitly rather than reflectively so coverage is auditable
@@ -308,8 +364,8 @@ func (c *Config) Fingerprint() string {
 	fmt.Fprintf(h, " mem={%+v} branch={%+v} ss={%+v}", c.Mem, c.Branch, c.StoreSets)
 	fmt.Fprintf(h, " ab=%t%t%t%t%t", c.AblateNoSSR, c.AblateNoWAW,
 		c.AblateNoElderStore, c.AblateNoRunCond, c.AblateNoRetireCoord)
-	fmt.Fprintf(h, " tel=%t chk=%t fault=%d rescan=%t name=%q",
-		c.Telemetry, c.CheckInvariants, c.InjectFaultCycle, c.RescanScheduler, c.Name)
+	fmt.Fprintf(h, " tel=%t chk=%t fault=%d fkind=%d rescan=%t name=%q",
+		c.Telemetry, c.CheckInvariants, c.InjectFaultCycle, c.InjectFaultKind, c.RescanScheduler, c.Name)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

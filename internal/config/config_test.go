@@ -138,3 +138,66 @@ func TestValidateRejectsNegativeFaultCycle(t *testing.T) {
 		t.Error("negative InjectFaultCycle accepted")
 	}
 }
+
+func TestFaultKindString(t *testing.T) {
+	names := map[FaultKind]string{
+		FaultWindow:    "window",
+		FaultStoreDrop: "store-drop",
+		FaultWakeupTag: "wakeup-tag",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if FaultKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestValidateFaultKind(t *testing.T) {
+	cases := []struct {
+		name  string
+		kind  FaultKind
+		cycle int64
+		ok    bool
+	}{
+		{"window-disarmed", FaultWindow, 0, true},
+		{"window-armed", FaultWindow, 100, true},
+		{"store-drop-armed", FaultStoreDrop, 100, true},
+		{"wakeup-tag-armed", FaultWakeupTag, 100, true},
+		// A non-default kind with no injection cycle is a config typo:
+		// the caller selected a corruption that can never fire.
+		{"store-drop-disarmed", FaultStoreDrop, 0, false},
+		{"wakeup-tag-disarmed", FaultWakeupTag, 0, false},
+		{"unknown-kind", FaultWakeupTag + 1, 100, false},
+	}
+	for _, tc := range cases {
+		cfg := Base64(1)
+		cfg.InjectFaultKind = tc.kind
+		cfg.InjectFaultCycle = tc.cycle
+		err := cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid fault config accepted", tc.name)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesFaultKinds: two armed configs differing only
+// in the injected fault kind must not alias in the harness cache.
+func TestFingerprintDistinguishesFaultKinds(t *testing.T) {
+	fps := map[string]FaultKind{}
+	for k := FaultWindow; k <= FaultWakeupTag; k++ {
+		cfg := Base64(1)
+		cfg.InjectFaultCycle = 100
+		cfg.InjectFaultKind = k
+		fp := cfg.Fingerprint()
+		if prev, dup := fps[fp]; dup {
+			t.Errorf("kinds %v and %v share fingerprint %s", prev, k, fp)
+		}
+		fps[fp] = k
+	}
+}

@@ -69,6 +69,11 @@ type Core struct {
 	// fetchRR breaks ICOUNT ties round-robin.
 	fetchRR int
 
+	// faultInjected disarms Config.InjectFaultCycle after its corruption
+	// has been applied (the injection is armed, not exact-cycle: some fault
+	// kinds must wait for their target structure to be populated).
+	faultInjected bool
+
 	// retireObs, when non-nil, observes every instruction at the moment it
 	// fully retires in program order (see SetRetireObserver).
 	retireObs func(tid int, seq int64)
@@ -171,6 +176,11 @@ func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
 // Cycle returns the current cycle number.
 func (c *Core) Cycle() int64 { return c.cycle }
 
+// FaultInjected reports whether the armed fault (Config.InjectFaultCycle)
+// has fired. Fault-injection harnesses use it to distinguish "fault never
+// found its target structure" from "fault injected and silently survived".
+func (c *Core) FaultInjected() bool { return c.faultInjected }
+
 // SetRetireTargets gives each thread a warmup of `warmup` retired
 // instructions (caches and predictors train, statistics discarded)
 // followed by a measurement window of `measure` retired instructions.
@@ -232,12 +242,18 @@ func (c *Core) Step() {
 	c.accumulateOccupancy()
 
 	// Fault injection (robustness test hook): deliberately corrupt the
-	// window at the configured cycle so supervised runners can prove they
-	// convert invariant trips into structured failures. The corruption is
-	// always checked immediately, even when per-cycle checking is off.
-	if c.cfg.InjectFaultCycle > 0 && now == c.cfg.InjectFaultCycle {
-		c.injectFault()
-		c.checkInvariants()
+	// structure named by Config.InjectFaultKind so supervised runners can
+	// prove they convert invariant trips into structured failures. The
+	// injection is armed from the configured cycle and fires at the first
+	// cycle its target structure is populated (a store-queue drop needs SQ
+	// entries, a wakeup-tag corruption needs registered waiters), then
+	// disarms. The corruption is always checked immediately, even when
+	// per-cycle checking is off.
+	if c.cfg.InjectFaultCycle > 0 && !c.faultInjected && now >= c.cfg.InjectFaultCycle {
+		if c.tryInjectFault() {
+			c.faultInjected = true
+			c.checkInvariants()
+		}
 	}
 	if c.cfg.CheckInvariants {
 		c.checkInvariants()

@@ -161,6 +161,7 @@ func (c *Core) retireShelfOp(t *thread, u *uop, now int64) {
 		} else {
 			c.hier.StoreCommit(u.inst.Addr, now)
 			t.commitStore(u.inst.Addr>>3, now)
+			c.observeMem(MemStoreCommit, u, now)
 		}
 	}
 	t.retiredShelf++

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"shelfsim/internal/config"
 	"shelfsim/internal/isa"
 )
 
@@ -55,13 +56,37 @@ func (c *Core) checkInvariants() {
 	}
 }
 
-// injectFault deliberately corrupts thread 0's ROB head pointer. It is the
-// fault-injection test hook behind Config.InjectFaultCycle, used to prove
-// that a sweep survives an invariant trip with a structured failure instead
-// of a crash.
-func (c *Core) injectFault() {
-	t := c.threads[0]
-	t.robHead = t.robAllocPos + 1
+// tryInjectFault deliberately corrupts the structure selected by
+// Config.InjectFaultKind and reports whether the corruption was applied.
+// It is the fault-injection hook behind Config.InjectFaultCycle, used to
+// prove that a supervised run converts every class of silent state damage
+// into a typed invariant trip instead of a wrong-value pass. Kinds whose
+// target structure is empty at the attempt cycle (no SQ entries, no
+// registered wakeup waiters) report false so the armed injection in Step
+// retries on a later cycle.
+func (c *Core) tryInjectFault() bool {
+	switch c.cfg.InjectFaultKind {
+	case config.FaultStoreDrop:
+		for _, t := range c.threads {
+			if len(t.sq) > 0 {
+				t.sq = popQueueFront(t.sq)
+				return true
+			}
+		}
+		return false
+	case config.FaultWakeupTag:
+		for tag, waiters := range c.wakeup {
+			if len(waiters) > 0 && !c.tagReady[tag] {
+				c.tagReady[tag] = true
+				return true
+			}
+		}
+		return false
+	default: // config.FaultWindow
+		t := c.threads[0]
+		t.robHead = t.robAllocPos + 1
+		return true
+	}
 }
 
 // CheckInvariants validates the window's structural invariants and returns
@@ -333,8 +358,15 @@ func (c *Core) checkThread(t *thread) *InvariantError {
 		}
 	}
 
-	// In-flight list strictly in program order with live states only.
+	// In-flight list strictly in program order with live states only; and
+	// LQ/SQ membership: every live (unretired, unsquashed) in-flight IQ
+	// load/store must occupy its program-order slot in the matching queue,
+	// and the queues must hold nothing else. Both sides are program-ordered,
+	// so a single merge walk detects dropped entries (e.g. a corrupted
+	// store-buffer slot) the cycle they disappear, instead of waiting for
+	// the op to reach the retire head.
 	var prevSeq int64 = -1
+	li, si := 0, 0
 	for _, u := range t.inflight {
 		if u.seq <= prevSeq {
 			return c.inv(t.id, "inflight-order", "inflight not in program order at seq %d", u.seq)
@@ -343,6 +375,27 @@ func (c *Core) checkThread(t *thread) *InvariantError {
 		if u.state == stateFetched || u.state == stateSquashed {
 			return c.inv(t.id, "inflight-order", "inflight op %v in state %v", u, u.state)
 		}
+		if u.toShelf || u.state == stateRetired || u.squashPending {
+			continue
+		}
+		switch u.inst.Op {
+		case isa.OpLoad:
+			if li >= len(t.lq) || t.lq[li] != u {
+				return c.inv(t.id, "lsq-membership", "in-flight load seq %d missing from LQ slot %d", u.seq, li)
+			}
+			li++
+		case isa.OpStore:
+			if si >= len(t.sq) || t.sq[si] != u {
+				return c.inv(t.id, "lsq-membership", "in-flight store seq %d missing from SQ slot %d", u.seq, si)
+			}
+			si++
+		}
+	}
+	if li != len(t.lq) {
+		return c.inv(t.id, "lsq-membership", "LQ holds %d entries beyond the in-flight window", len(t.lq)-li)
+	}
+	if si != len(t.sq) {
+		return c.inv(t.id, "lsq-membership", "SQ holds %d entries beyond the in-flight window", len(t.sq)-si)
 	}
 	return nil
 }

@@ -275,6 +275,7 @@ func (c *Core) issueOne(u *uop, now int64) {
 		if u.toShelf {
 			c.coalesceShelfStore(t, u, now)
 		}
+		c.observeMem(MemStoreIssue, u, now)
 		c.stats.LSQSearches++ // address CAM check on younger loads
 	case isa.OpBranch:
 		u.completeCycle = now + lat
@@ -331,6 +332,7 @@ func (c *Core) issueLoad(t *thread, u *uop, now int64) {
 		u.completeCycle = now + 2
 		t.loadForwards++
 		c.stats.LoadForwards++
+		c.observeLoad(u, now, LoadFromStore, provider.seq)
 		return
 	}
 
@@ -349,6 +351,7 @@ func (c *Core) issueLoad(t *thread, u *uop, now int64) {
 			u.completeCycle = maxInt64(now+2, v.completeCycle)
 			t.loadForwards++
 			c.stats.LoadForwards++
+			c.observeLoad(u, now, LoadFromLoad, v.seq)
 			return
 		}
 	}
@@ -356,6 +359,7 @@ func (c *Core) issueLoad(t *thread, u *uop, now int64) {
 	ready, lvl := c.hier.Load(u.inst.Addr, now+1)
 	u.completeCycle = maxInt64(ready, now+3)
 	c.stats.LoadsByLevel[lvl]++
+	c.observeLoad(u, now, LoadFromCache, -1)
 }
 
 // coalesceShelfStore marks a shelf store that merges into the next older

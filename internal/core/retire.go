@@ -62,6 +62,7 @@ func (c *Core) retireOne(t *thread, now int64) bool {
 		t.sq = popQueueFront(t.sq)
 		c.hier.StoreCommit(u.inst.Addr, now)
 		t.commitStore(u.inst.Addr>>3, now)
+		c.observeMem(MemStoreCommit, u, now)
 	case isa.OpLoad:
 		if len(t.lq) == 0 || t.lq[0] != u {
 			c.fail(t.id, "lq-head", "retiring load %v is not the LQ head", u)
@@ -82,6 +83,9 @@ func (c *Core) pruneRetired(t *thread, now int64) {
 		c.stats.Retired++
 		if c.retireObs != nil {
 			c.retireObs(t.id, u.seq)
+		}
+		if u.inst.Op.IsMem() {
+			c.observeMem(MemRetire, u, now)
 		}
 		if u.inSeq {
 			t.retiredInSeq++

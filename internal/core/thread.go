@@ -24,6 +24,10 @@ type storeBufEntry struct {
 // coalescing buffer before draining to the cache.
 const storeBufDrainCycles = 8
 
+// StoreBufDrainCycles exports the store-buffer drain latency for the
+// litmus checker's coalescing axiom (internal/litmus).
+const StoreBufDrainCycles = storeBufDrainCycles
+
 // commitStore records a drained store in the coalescing buffer.
 func (t *thread) commitStore(line uint64, now int64) {
 	t.storeBuf[t.storeBufPos] = storeBufEntry{line: line, drainAt: now + storeBufDrainCycles}

@@ -18,6 +18,66 @@ type traceHooks struct {
 	// issueFn is invoked on every instruction issue (tests use it to verify
 	// issue-ordering properties).
 	issueFn func(tid int, seq int64, toShelf bool)
+	// memFn receives the memory-model event stream (load provenance, store
+	// issue/commit, retirement, squashes) for axiomatic checking.
+	memFn func(MemEvent)
+}
+
+// LoadSource identifies where a load obtained its value. In a timing
+// simulator without data values, provenance is the value's identity: the
+// axiomatic checker (internal/litmus) reconstructs which store the load
+// architecturally observed from the (source, provider) pair.
+type LoadSource uint8
+
+const (
+	// LoadFromCache means the load accessed the memory hierarchy.
+	LoadFromCache LoadSource = iota
+	// LoadFromStore means the load forwarded from the youngest matching
+	// elder store (store-to-load forwarding).
+	LoadFromStore
+	// LoadFromLoad means a shelf load forwarded from a younger matching
+	// IQ load that issued early (§III-D).
+	LoadFromLoad
+)
+
+// MemEventKind enumerates the memory-model observation points.
+type MemEventKind uint8
+
+const (
+	// MemLoadIssue fires when a load issues and resolves its provenance.
+	MemLoadIssue MemEventKind = iota
+	// MemStoreIssue fires when a store issues (address resolution); for
+	// shelf stores Coalesced records the coalescing decision.
+	MemStoreIssue
+	// MemStoreCommit fires when a store's value is released to the cache
+	// (IQ stores at retirement, uncoalesced shelf stores at writeback).
+	MemStoreCommit
+	// MemRetire fires when a memory op fully retires in program order.
+	MemRetire
+	// MemSquash fires when a thread flushes; Seq is the first squashed
+	// sequence number (every op with seq >= Seq is dead).
+	MemSquash
+)
+
+// MemEvent is one memory-model observation. Events for one core are
+// delivered in simulation order from a single goroutine.
+type MemEvent struct {
+	Kind  MemEventKind
+	Tid   int
+	Seq   int64
+	Cycle int64
+	// Addr is the op's effective address (unset for MemSquash).
+	Addr uint64
+	// ToShelf marks shelf-steered ops.
+	ToShelf bool
+	// Coalesced marks a shelf store that merged into an elder store's
+	// queue entry or an undrained store-buffer slot instead of committing
+	// to the cache itself (MemStoreIssue only).
+	Coalesced bool
+	// Source and ProviderSeq carry a load's provenance (MemLoadIssue
+	// only): the providing op's sequence number, or -1 for cache loads.
+	Source      LoadSource
+	ProviderSeq int64
 }
 
 // SetTrace installs fn as a per-uop timeline tracer for thread's sequence
@@ -40,6 +100,31 @@ func (c *Core) SetViolationObserver(fn func(store, load string)) { c.hooks.viola
 
 // SetIssueObserver installs fn to be invoked on every instruction issue.
 func (c *Core) SetIssueObserver(fn func(tid int, seq int64, toShelf bool)) { c.hooks.issueFn = fn }
+
+// SetMemObserver installs fn to receive the core's memory-model event
+// stream: every load's observed provenance at issue, store issue and
+// commit points, memory-op retirement and squashes. The axiomatic litmus
+// checker is the primary consumer. Events are delivered synchronously from
+// the simulation loop; fn must not call back into the core.
+func (c *Core) SetMemObserver(fn func(MemEvent)) { c.hooks.memFn = fn }
+
+// observeLoad emits a load's provenance observation.
+func (c *Core) observeLoad(u *uop, now int64, src LoadSource, providerSeq int64) {
+	if c.hooks.memFn == nil {
+		return
+	}
+	c.hooks.memFn(MemEvent{Kind: MemLoadIssue, Tid: u.tid, Seq: u.seq, Cycle: now,
+		Addr: u.inst.Addr, ToShelf: u.toShelf, Source: src, ProviderSeq: providerSeq})
+}
+
+// observeMem emits a non-load memory-model event for u.
+func (c *Core) observeMem(kind MemEventKind, u *uop, now int64) {
+	if c.hooks.memFn == nil {
+		return
+	}
+	c.hooks.memFn(MemEvent{Kind: kind, Tid: u.tid, Seq: u.seq, Cycle: now,
+		Addr: u.inst.Addr, ToShelf: u.toShelf, Coalesced: u.coalesced, ProviderSeq: -1})
+}
 
 // inTraceWindow reports whether u falls inside the SetTrace window.
 func (c *Core) inTraceWindow(u *uop) bool {

@@ -50,6 +50,9 @@ type Harness struct {
 	FaultConfig string
 	FaultMix    string
 	FaultCycle  int64
+	// FaultKind selects which structure the injected fault corrupts
+	// (config.FaultWindow, FaultStoreDrop, FaultWakeupTag).
+	FaultKind config.FaultKind
 
 	mu        sync.Mutex
 	singleCPI map[string]float64
@@ -92,6 +95,7 @@ func (h *Harness) prepare(cfg *config.Config, mix workload.Mix) {
 	if h.FaultConfig != "" && cfg.Name == h.FaultConfig &&
 		(h.FaultMix == "" || mix.Name() == h.FaultMix) {
 		cfg.InjectFaultCycle = h.FaultCycle
+		cfg.InjectFaultKind = h.FaultKind
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"shelfsim/internal/config"
+	"shelfsim/internal/core"
 	"shelfsim/internal/runner"
 )
 
@@ -120,5 +121,35 @@ func TestRunReturnsSimError(t *testing.T) {
 	}
 	if !Skippable(err) {
 		t.Error("SimError must be Skippable")
+	}
+}
+
+// TestHarnessFaultKinds: the generalized fault hook must thread every
+// FaultKind down to the core, and each corruption must surface as its
+// named invariant violation through the SimError chain — never as a
+// clean run.
+func TestHarnessFaultKinds(t *testing.T) {
+	wantCheck := map[config.FaultKind]string{
+		config.FaultWindow:    "rob-order",
+		config.FaultStoreDrop: "lsq-membership",
+		config.FaultWakeupTag: "sched-wakeup",
+	}
+	for kind, want := range wantCheck {
+		h := tiny()
+		h.CheckInvariants = true
+		h.FaultConfig = config.Base64(4).Name
+		h.FaultCycle = 100
+		h.FaultKind = kind
+		_, err := h.Run(config.Base64(4), h.Mixes(4)[0])
+		if err == nil {
+			t.Fatalf("kind %v: faulted run completed cleanly", kind)
+		}
+		var inv *core.InvariantError
+		if !errors.As(err, &inv) {
+			t.Fatalf("kind %v: error %v does not wrap *core.InvariantError", kind, err)
+		}
+		if inv.Check != want {
+			t.Errorf("kind %v caught by %q, want %q", kind, inv.Check, want)
+		}
 	}
 }

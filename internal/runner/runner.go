@@ -69,6 +69,11 @@ type Job struct {
 	Streams []isa.Stream
 	Warmup  int64
 	Measure int64
+	// Attach, when non-nil, is invoked with the freshly constructed core
+	// before the run starts, so library callers can install per-core
+	// observers (SetMemObserver, SetRetireObserver, tracers) on supervised
+	// runs. Like Streams it is library-only and never serializes.
+	Attach func(c *core.Core)
 }
 
 // label identifies the job's workload in failure reports: the mix name, or
@@ -212,6 +217,9 @@ func (r *Runner) runOnce(ctx context.Context, job Job, warmup, measure int64, at
 		}
 	}
 	c.SetRetireTargets(warmup, measure)
+	if job.Attach != nil {
+		job.Attach(c)
+	}
 
 	budget := (warmup + measure) * int64(job.Config.Threads) * r.cyclesPerInst()
 	for {

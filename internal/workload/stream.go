@@ -1,0 +1,65 @@
+package workload
+
+import "shelfsim/internal/isa"
+
+// LoopStream replays a fixed instruction body in an endless loop, closed
+// by an always-taken back-edge branch (the same shape the kernel streams
+// emit, so the front end's predictor and PC handling see a normal loop).
+// It is the building block for caller-authored workloads — the litmus
+// generator emits its thread programs through it. An optional Mutate hook
+// rewrites each emitted instruction with the current iteration number,
+// enabling data-dependent branch outcomes and per-iteration addresses
+// without materializing a trace.
+type LoopStream struct {
+	name   string
+	body   []isa.Inst
+	pcBase uint64
+	// Mutate, when non-nil, is applied to each emitted body instruction
+	// (not the back edge) with the current loop iteration.
+	Mutate func(it int64, pos int, inst *isa.Inst)
+
+	pos   int
+	it    int64
+	count int64
+	limit int64
+}
+
+// NewLoopStream builds a stream that replays body forever (bounded only by
+// limit; limit < 0 means unbounded). The body's PCs are assigned
+// sequentially from pcBase; memory ops must carry their Addr/Size already
+// (or have Mutate fill them in).
+func NewLoopStream(name string, pcBase uint64, body []isa.Inst, limit int64) *LoopStream {
+	return &LoopStream{name: name, body: body, pcBase: pcBase, limit: limit}
+}
+
+// Name implements isa.Stream.
+func (s *LoopStream) Name() string { return s.name }
+
+// Next implements isa.Stream.
+func (s *LoopStream) Next(out *isa.Inst) bool {
+	if s.limit >= 0 && s.count >= s.limit {
+		return false
+	}
+	s.count++
+	if s.pos >= len(s.body) {
+		// Back-edge branch: always taken, closing the loop.
+		*out = isa.Inst{
+			PC:     s.pcBase + uint64(len(s.body))*4,
+			Op:     isa.OpBranch,
+			Dest:   isa.RegInvalid,
+			Srcs:   [isa.MaxSrcs]int16{isa.RegInvalid, isa.RegInvalid, isa.RegInvalid},
+			Taken:  true,
+			Target: s.pcBase,
+		}
+		s.pos = 0
+		s.it++
+		return true
+	}
+	*out = s.body[s.pos]
+	out.PC = s.pcBase + uint64(s.pos)*4
+	if s.Mutate != nil {
+		s.Mutate(s.it, s.pos, out)
+	}
+	s.pos++
+	return true
+}

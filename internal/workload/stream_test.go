@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"shelfsim/internal/isa"
+)
+
+func loopBody() []isa.Inst {
+	inv := [isa.MaxSrcs]int16{isa.RegInvalid, isa.RegInvalid, isa.RegInvalid}
+	return []isa.Inst{
+		{Op: isa.OpIntAlu, Dest: 1, Srcs: inv},
+		{Op: isa.OpLoad, Dest: 2, Srcs: inv, Addr: 0x1000, Size: 8},
+		{Op: isa.OpStore, Dest: isa.RegInvalid, Srcs: [isa.MaxSrcs]int16{1, isa.RegInvalid, isa.RegInvalid}, Addr: 0x1008, Size: 8},
+	}
+}
+
+func drainStream(s isa.Stream, max int) []isa.Inst {
+	var out []isa.Inst
+	var in isa.Inst
+	for len(out) < max && s.Next(&in) {
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestLoopStreamShape(t *testing.T) {
+	const base = 0x2000
+	body := loopBody()
+	s := NewLoopStream("shape", base, body, int64(2*(len(body)+1)))
+	got := drainStream(s, 100)
+	if len(got) != 2*(len(body)+1) {
+		t.Fatalf("emitted %d instructions, want %d", len(got), 2*(len(body)+1))
+	}
+	for iter := 0; iter < 2; iter++ {
+		off := iter * (len(body) + 1)
+		for i, want := range body {
+			in := got[off+i]
+			if in.Op != want.Op {
+				t.Errorf("iter %d pos %d: op %v, want %v", iter, i, in.Op, want.Op)
+			}
+			if wantPC := uint64(base + i*4); in.PC != wantPC {
+				t.Errorf("iter %d pos %d: PC %#x, want %#x", iter, i, in.PC, wantPC)
+			}
+		}
+		back := got[off+len(body)]
+		if back.Op != isa.OpBranch || !back.Taken {
+			t.Fatalf("iter %d: back edge is %+v, want taken branch", iter, back)
+		}
+		if wantPC := uint64(base + len(body)*4); back.PC != wantPC || back.Target != base {
+			t.Errorf("iter %d: back edge PC %#x target %#x, want PC %#x target %#x",
+				iter, back.PC, back.Target, wantPC, uint64(base))
+		}
+	}
+}
+
+func TestLoopStreamLimit(t *testing.T) {
+	body := loopBody()
+	s := NewLoopStream("limit", 0x2000, body, 5)
+	if got := drainStream(s, 100); len(got) != 5 {
+		t.Fatalf("limit 5 emitted %d instructions", len(got))
+	}
+	var in isa.Inst
+	if s.Next(&in) {
+		t.Fatal("stream kept emitting past its limit")
+	}
+	unbounded := NewLoopStream("unbounded", 0x2000, body, -1)
+	if got := drainStream(unbounded, 1000); len(got) != 1000 {
+		t.Fatalf("unbounded stream stopped after %d instructions", len(got))
+	}
+}
+
+func TestLoopStreamMutate(t *testing.T) {
+	body := loopBody()
+	s := NewLoopStream("mutate", 0x2000, body, int64(3*(len(body)+1)))
+	var calls []int64
+	s.Mutate = func(it int64, pos int, in *isa.Inst) {
+		calls = append(calls, it)
+		if in.Op == isa.OpLoad {
+			in.Addr = 0x1000 + uint64(it)*64
+		}
+	}
+	got := drainStream(s, 100)
+	// Mutate sees every body instruction with its iteration number, and
+	// is never applied to the synthesized back edge.
+	if want := int64(3 * len(body)); int64(len(calls)) != want {
+		t.Fatalf("Mutate called %d times, want %d", len(calls), want)
+	}
+	for i, it := range calls {
+		if want := int64(i / len(body)); it != want {
+			t.Fatalf("Mutate call %d saw iteration %d, want %d", i, it, want)
+		}
+	}
+	for iter := 0; iter < 3; iter++ {
+		ld := got[iter*(len(body)+1)+1]
+		if want := 0x1000 + uint64(iter)*64; ld.Addr != want {
+			t.Errorf("iter %d load addr %#x, want %#x", iter, ld.Addr, want)
+		}
+		if back := got[iter*(len(body)+1)+len(body)]; back.Target != 0x2000 {
+			t.Errorf("iter %d back edge mutated: %+v", iter, back)
+		}
+	}
+}
+
+func TestLoopStreamDeterminism(t *testing.T) {
+	mk := func() *LoopStream {
+		s := NewLoopStream("det", 0x3000, loopBody(), 200)
+		s.Mutate = func(it int64, pos int, in *isa.Inst) {
+			if in.Op == isa.OpStore {
+				in.Addr = 0x2000 + uint64(it%7)*8
+			}
+		}
+		return s
+	}
+	a, b := drainStream(mk(), 1000), drainStream(mk(), 1000)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

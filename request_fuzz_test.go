@@ -1,0 +1,78 @@
+package shelfsim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRequest feeds arbitrary JSON through the request pipeline: decoding,
+// Resolve and CacheKey must never panic, and any request that resolves
+// must have a stable canonical identity — re-marshalling the decoded
+// request and decoding it again yields the same cache key. This is the
+// property shelfd's dedup cache depends on.
+func FuzzRequest(f *testing.F) {
+	seeds := []string{
+		`{"preset":"shelf64-opt","kernels":["stream","gups"],"insts":1000}`,
+		`{"preset":"base64","kernels":["branchy"],"insts":500,"warmup":0}`,
+		`{"preset":"coarse64","kernels":["matblock","ptrchase"],"insts":2000,` +
+			`"overrides":{"steer":"coarse","coarse_interval":500}}`,
+		`{"preset":"base128","threads":2,"kernels":["stream","stream"],"insts":100,` +
+			`"overrides":{"rob":48,"iq":24,"prf":96,"check_invariants":true}}`,
+		`{"preset":"shelf64-cons","kernels":["prodcons"],"insts":1,` +
+			`"overrides":{"steer":"all-shelf","name":"x"}}`,
+		`{"config":{"threads":1},"kernels":["stream"],"insts":10}`,
+		`{"preset":"nope","kernels":["stream"],"insts":10}`,
+		`{"insts":-5}`,
+		`{"preset":"base64","preset_typo":true}`,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"overrides":{"steer":"???"}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		key1, err := req.CacheKey()
+		if err != nil {
+			// Invalid requests must fail identically after a round trip,
+			// not start succeeding.
+			if rt, rtErr := roundTrip(t, req); rtErr == nil {
+				if _, err2 := rt.CacheKey(); err2 == nil {
+					t.Fatalf("request %+v: CacheKey failed (%v) but succeeds after JSON round trip", req, err)
+				}
+			}
+			return
+		}
+		rt, rtErr := roundTrip(t, req)
+		if rtErr != nil {
+			t.Fatalf("re-decoding a valid request failed: %v", rtErr)
+		}
+		key2, err := rt.CacheKey()
+		if err != nil {
+			t.Fatalf("round-tripped request lost validity: %v", err)
+		}
+		if key1 != key2 {
+			t.Fatalf("cache key unstable across JSON round trip:\n  %s\n  %s", key1, key2)
+		}
+		if _, err := req.Resolve(); err != nil {
+			t.Fatalf("CacheKey succeeded but Resolve failed: %v", err)
+		}
+	})
+}
+
+// roundTrip re-marshals and decodes a request.
+func roundTrip(t *testing.T, req Request) (Request, error) {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshalling a decoded request failed: %v", err)
+	}
+	var out Request
+	err = json.Unmarshal(raw, &out)
+	return out, err
+}

@@ -54,6 +54,29 @@ kill -TERM "$SHELFD_PID"
 wait "$SHELFD_PID" # non-zero here means the graceful drain failed
 rm -f "$ADDRFILE"
 
+# Memory-model torture gate: a fixed-seed litmus smoke campaign (1000
+# instances across all six patterns) under -race with per-cycle invariants
+# and the axiomatic checker on, plus the fault-injection matrix — every
+# injected corruption must be caught by a typed invariant, so a silent
+# pass fails the campaign. A violation writes the shrunken-seed failure
+# manifest where CI collects artifacts.
+SHELFLITMUS="${SHELFLITMUS:-/tmp/shelfsim-tools/shelflitmus}"
+LITMUS_MANIFEST="${LITMUS_MANIFEST:-/tmp/litmus_manifest.json}"
+go build -race -o "$SHELFLITMUS" ./cmd/shelflitmus
+if ! "$SHELFLITMUS" -n 1000 -seed 1 -preset shelf64-opt -fault-sample 3 \
+    -manifest "$LITMUS_MANIFEST"; then
+    [ -s "$LITMUS_MANIFEST" ] && cat "$LITMUS_MANIFEST"
+    exit 1
+fi
+# Practical steering rarely coalesces shelf stores, so a second, smaller
+# sweep pins everything to the shelf to keep the coalescing and
+# load-to-load-forwarding axioms exercised against live traffic.
+if ! "$SHELFLITMUS" -n 300 -seed 2 -preset shelf64-opt -steer all-shelf \
+    -fault-sample 0 -manifest "$LITMUS_MANIFEST"; then
+    [ -s "$LITMUS_MANIFEST" ] && cat "$LITMUS_MANIFEST"
+    exit 1
+fi
+
 # Telemetry overhead gate. The telemetry-off hot path differs from the seed
 # only by nil-receiver checks on the collector, so off-vs-on measured in one
 # process is the stable proxy for off-vs-seed (a cross-commit rerun would
