@@ -1,12 +1,19 @@
 // Command shelfd serves shelfsim simulations over HTTP/JSON: POST a
 // shelfsim.Request to /v1/run (or a batch to /v1/sweep for an NDJSON
 // stream), and read /healthz and /metrics for liveness and the merged
-// observability snapshot. Jobs are scheduled onto a bounded queue in front
-// of the supervised runner worker pool; identical in-flight requests share
-// one execution; a full queue answers 429 with Retry-After.
+// observability snapshot. Jobs are routed by cache-key hash onto
+// single-writer execution shards (one owning goroutine and one bounded
+// ring inbox per shard) in front of the supervised runner; identical
+// in-flight requests share one execution; a full inbox answers 429 with
+// Retry-After.
 //
-//	shelfd -addr :8080
+//	shelfd -addr :8080 -store /var/lib/shelfd
 //	curl -s localhost:8080/v1/run -d '{"preset":"shelf64-opt","kernels":["stream","ptrchase","branchy","matblock"],"insts":100000}'
+//
+// With -store, every completed report is persisted content-addressed
+// under its cache key and repeat requests — across restarts included —
+// are served from disk without re-simulating; the cumulative /metrics
+// counters also survive restarts via the store's meta document.
 //
 // On SIGTERM/SIGINT shelfd drains gracefully: admitted jobs finish and are
 // answered, new submissions get 429, and the process exits 0 once idle (or
@@ -26,14 +33,16 @@ import (
 	"time"
 
 	"shelfsim/internal/serve"
+	"shelfsim/internal/store"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		addrFile  = flag.String("addrfile", "", "write the bound address to this file once listening (CI/scripts)")
-		queue     = flag.Int("queue", 64, "bounded job-queue depth; a full queue answers 429")
-		workers   = flag.Int("workers", 0, "concurrent simulations (default: GOMAXPROCS)")
+		storeDir  = flag.String("store", "", "persistent result-store directory (empty: results die with the process)")
+		shards    = flag.Int("shards", 0, "single-writer execution shards, i.e. concurrent simulations (default: GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "per-shard ring-inbox depth; a full inbox answers 429")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-job wall-clock timeout")
 		drainWait = flag.Duration("drain", 5*time.Minute, "graceful-drain deadline after SIGTERM")
 	)
@@ -50,11 +59,22 @@ func main() {
 		}
 	}
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
+		Shards:     *shards,
 		QueueDepth: *queue,
-		Workers:    *workers,
 		JobTimeout: *timeout,
-	})
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("shelfd: opening store: %v", err)
+		}
+		stats := st.Stats()
+		log.Printf("shelfd: store %s: %d entries warm (%d skipped)",
+			*storeDir, stats.WarmEntries, stats.SkippedOnOpen)
+		opts.Store = st
+	}
+	srv := serve.New(opts)
 	httpSrv := &http.Server{Handler: srv}
 
 	serveErr := make(chan error, 1)

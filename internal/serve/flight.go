@@ -17,24 +17,30 @@ var (
 	errDraining  = errors.New("serve: draining, not admitting jobs")
 )
 
+// ErrAbandoned is the typed failure delivered to waiters of jobs that
+// were still queued when the server closed: the job was never executed
+// and never will be. Over HTTP it surfaces as 503.
+var ErrAbandoned = errors.New("serve: server closed before the job executed")
+
 // flight is one admitted simulation and everyone waiting on it. Duplicate
 // submissions with the same cache key attach to the existing flight
-// instead of queueing a second execution; the worker publishes the report
-// (or error) and closes done, releasing every waiter at once.
+// instead of queueing a second execution; the shard owner publishes the
+// report (or error) and closes done, releasing every waiter at once.
 type flight struct {
 	key  string
 	rv   shelfsim.Resolved
 	done chan struct{}
 
-	// report and err are written by the executing worker before done is
-	// closed; waiters read them only after <-done.
+	// report and err are written by the executing shard owner before done
+	// is closed; waiters read them only after <-done.
 	report shelfsim.Report
 	err    error
 }
 
 // submit validates and admits one request: it either attaches to an
-// identical in-flight job (dedup), enqueues a new flight, or rejects with
-// errDraining / errQueueFull / a *FieldError.
+// identical in-flight job (dedup), enqueues a new flight on the cache
+// key's shard, or rejects with errDraining / errQueueFull / a
+// *FieldError. The hot path takes exactly one lock — the owning shard's.
 func (s *Server) submit(req shelfsim.Request) (*flight, error) {
 	rv, err := req.Resolve()
 	if err != nil {
@@ -46,25 +52,25 @@ func (s *Server) submit(req shelfsim.Request) (*flight, error) {
 		return nil, errors.New("serve: stream-backed requests are not servable")
 	}
 	key := rv.CacheKey()
+	sh := s.shardFor(key)
 
-	s.admission.Lock()
-	defer s.admission.Unlock()
-	if s.draining {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.draining.Load() || sh.closed {
 		return nil, errDraining
 	}
-	if f, ok := s.flights[key]; ok {
+	if f, ok := sh.flights[key]; ok {
 		s.counters.dedupHits.Add(1)
 		return f, nil
 	}
-	f := &flight{key: key, rv: rv, done: make(chan struct{})}
-	select {
-	case s.queue <- f:
-	default:
+	if sh.full() {
 		return nil, errQueueFull
 	}
-	s.flights[key] = f
-	s.inflight.Add(1)
-	s.inflightGauge.Add(1)
+	f := &flight{key: key, rv: rv, done: make(chan struct{})}
+	sh.push(f)
+	sh.flights[key] = f
+	s.jobBegin()
+	sh.cond.Signal()
 	return f, nil
 }
 
@@ -89,21 +95,50 @@ func (s *Server) submitRetry(ctx context.Context, req shelfsim.Request) (*flight
 	}
 }
 
-// worker drains the queue until Close.
-func (s *Server) worker() {
-	defer s.workers.Done()
-	for f := range s.queue {
-		s.execute(f)
-	}
+// unregister removes a finished (or abandoned) flight from its shard's
+// dedup map. It must happen before the result is published: a duplicate
+// arriving after this point starts a fresh submission — which the
+// persistent store, if attached, answers from disk — instead of attaching
+// to a finished flight.
+func (s *Server) unregister(sh *shard, f *flight) {
+	sh.mu.Lock()
+	delete(sh.flights, f.key)
+	sh.mu.Unlock()
 }
 
-// execute runs one flight to completion and releases its waiters. The job
-// runs under a background context: a deduplicated flight may outlive any
-// single submitter, so its lifetime is bounded by the runner's wall-clock
-// timeout and cycle budget, not by client disconnects.
-func (s *Server) execute(f *flight) {
-	if gate := s.execGate; gate != nil {
-		gate(f.key)
+// publish releases a flight's waiters and retires its accounting.
+func (s *Server) publish(f *flight) {
+	close(f.done)
+	s.jobEnd()
+}
+
+// abandon fails a never-executed flight with ErrAbandoned (its shard has
+// already unregistered it) so every waiter is released.
+func (s *Server) abandon(f *flight) {
+	f.err = ErrAbandoned
+	s.counters.abandoned.Add(1)
+	s.publish(f)
+}
+
+// execute runs one flight to completion and releases its waiters: a
+// persistent-store hit is answered from disk without simulating;
+// otherwise the job runs under a background context — a deduplicated
+// flight may outlive any single submitter, so its lifetime is bounded by
+// the runner's wall-clock timeout and cycle budget, not by client
+// disconnects — and the fresh result is persisted for next time.
+func (s *Server) execute(sh *shard, f *flight) {
+	if gate := s.execGate.Load(); gate != nil {
+		(*gate)(f.key)
+	}
+	if s.store != nil {
+		if rep, ok := s.store.Get(f.key); ok {
+			f.report = rep
+			s.counters.storeHits.Add(1)
+			s.counters.completed.Add(1)
+			s.unregister(sh, f)
+			s.publish(f)
+			return
+		}
 	}
 	s.counters.executed.Add(1)
 	res, simErr := s.run.Execute(context.Background(), runner.Job{
@@ -113,19 +148,17 @@ func (s *Server) execute(f *flight) {
 		Measure: f.rv.Insts,
 	})
 
-	// Remove the flight before publishing: a duplicate arriving after this
-	// point starts a fresh execution instead of attaching to a finished one
-	// (in-flight dedup only; results are not cached server-side).
-	s.admission.Lock()
-	delete(s.flights, f.key)
-	s.admission.Unlock()
-
 	if simErr != nil {
 		f.err = simErr
 		s.counters.failed.Add(1)
 	} else {
 		f.report = shelfsim.NewReport(f.rv, *res)
 		s.counters.completed.Add(1)
+		if s.store != nil {
+			if err := s.store.Put(f.key, f.report); err != nil {
+				s.counters.storePutErrs.Add(1)
+			}
+		}
 		if res.Obs != nil {
 			s.telemetryMu.Lock()
 			if s.telemetry == nil {
@@ -135,7 +168,6 @@ func (s *Server) execute(f *flight) {
 			s.telemetryMu.Unlock()
 		}
 	}
-	s.inflightGauge.Add(-1)
-	close(f.done)
-	s.inflight.Done()
+	s.unregister(sh, f)
+	s.publish(f)
 }

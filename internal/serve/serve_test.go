@@ -67,6 +67,19 @@ func decodeReport(t *testing.T, body []byte) shelfsim.Report {
 	return rep
 }
 
+// testGate returns a channel for execution gates to block on and an
+// idempotent release, registered as a cleanup: a Fatalf while a job is
+// held at the gate must not leave the teardown (httptest Close waiting on
+// the handler, which waits on the gated flight) deadlocked.
+func testGate(t *testing.T) (chan struct{}, func()) {
+	t.Helper()
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(unblock)
+	return release, unblock
+}
+
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
@@ -122,11 +135,12 @@ func TestBurst32Concurrent(t *testing.T) {
 // A single gated worker holds the job in flight while the duplicates
 // arrive, so the dedup window is deterministic.
 func TestDedupSharesExecution(t *testing.T) {
-	s := New(Options{Workers: 1})
-	release := make(chan struct{})
-	s.execGate = func(string) { <-release }
+	s := New(Options{Shards: 1})
+	release, unblock := testGate(t)
+	s.setExecGate(func(string) { <-release })
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
+		unblock()
 		ts.Close()
 		s.Close()
 	})
@@ -152,7 +166,7 @@ func TestDedupSharesExecution(t *testing.T) {
 		c := s.Counters()
 		return c.Submitted == n && c.DedupHits == n-1
 	})
-	close(release)
+	unblock()
 	wg.Wait()
 	if t.Failed() {
 		return
@@ -173,15 +187,16 @@ func TestDedupSharesExecution(t *testing.T) {
 // third distinct submission must be rejected immediately with 429 and a
 // Retry-After hint, not block.
 func TestQueueFullRejects429(t *testing.T) {
-	s := New(Options{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	s := New(Options{Shards: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
 	picked := make(chan string, 4)
-	release := make(chan struct{})
-	s.execGate = func(key string) {
+	release, unblock := testGate(t)
+	s.setExecGate(func(key string) {
 		picked <- key
 		<-release
-	}
+	})
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
+		unblock()
 		ts.Close()
 		s.Close()
 	})
@@ -198,7 +213,7 @@ func TestQueueFullRejects429(t *testing.T) {
 	}
 	// The worker holds one job at the gate and the queue holds one more.
 	<-picked
-	waitFor(t, "queue to fill", func() bool { return len(s.queue) == 1 })
+	waitFor(t, "queue to fill", func() bool { return s.queueLen() == 1 })
 
 	body, _ := json.Marshal(smallReq(99))
 	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
@@ -221,7 +236,7 @@ func TestQueueFullRejects429(t *testing.T) {
 		t.Errorf("counters: %+v, want one queue-full rejection", c)
 	}
 
-	close(release)
+	unblock()
 	wg.Wait()
 }
 
@@ -229,15 +244,16 @@ func TestQueueFullRejects429(t *testing.T) {
 // 429, /healthz reports draining, the in-flight job still completes and is
 // answered, and Wait returns once it has.
 func TestDrain(t *testing.T) {
-	s := New(Options{Workers: 1})
-	release := make(chan struct{})
+	s := New(Options{Shards: 1})
+	release, unblock := testGate(t)
 	picked := make(chan string, 1)
-	s.execGate = func(key string) {
+	s.setExecGate(func(key string) {
 		picked <- key
 		<-release
-	}
+	})
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
+		unblock()
 		ts.Close()
 		s.Close()
 	})
@@ -270,7 +286,7 @@ func TestDrain(t *testing.T) {
 		t.Errorf("health status %q while draining", h.Status)
 	}
 
-	close(release)
+	unblock()
 	wg.Wait()
 	if inFlightCode != http.StatusOK {
 		t.Errorf("in-flight job answered HTTP %d: %s", inFlightCode, inFlightBody)
@@ -335,10 +351,11 @@ func TestBadRequest400Field(t *testing.T) {
 // other), and a done summary — all as parseable NDJSON lines.
 func TestSweepNDJSONStream(t *testing.T) {
 	s := New(Options{})
-	release := make(chan struct{})
-	s.execGate = func(string) { <-release }
+	release, unblock := testGate(t)
+	s.setExecGate(func(string) { <-release })
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
+		unblock()
 		ts.Close()
 		s.Close()
 	})
@@ -366,7 +383,7 @@ func TestSweepNDJSONStream(t *testing.T) {
 		c := s.Counters()
 		return c.Submitted == 4 && c.DedupHits == 1
 	})
-	close(release)
+	unblock()
 
 	var resp *http.Response
 	select {
@@ -483,7 +500,7 @@ func TestServedResultMatchesInProcess(t *testing.T) {
 // TestMetricsTelemetry: a telemetry-enabled job's snapshot is merged into
 // /metrics, alongside the live counters and health identity fields.
 func TestMetricsTelemetry(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 2})
+	_, ts := newTestServer(t, Options{Shards: 2})
 	tele := true
 	req := shelfsim.Request{
 		Preset:    "base64",
@@ -520,7 +537,7 @@ func TestMetricsTelemetry(t *testing.T) {
 	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
 		t.Fatalf("decoding health: %v", err)
 	}
-	if h.Status != "ok" || h.Workers != 2 || h.SchemaVersion != shelfsim.SchemaVersion {
+	if h.Status != "ok" || h.Shards != 2 || h.SchemaVersion != shelfsim.SchemaVersion {
 		t.Errorf("health: %+v", h)
 	}
 }

@@ -1,11 +1,14 @@
 // Package serve implements shelfd's HTTP/JSON simulation service on top of
-// the public request API and the supervised runner: a bounded job queue
-// with backpressure (429 + Retry-After when full), deduplication of
-// identical in-flight requests onto one execution (keyed by the harness
-// cache key, i.e. the configuration fingerprint + mix + window), streaming
-// NDJSON progress for sweeps, health and metrics endpoints exporting the
-// merged observability snapshots, and graceful drain (admitted jobs
-// finish, new submissions are rejected). Everything is stdlib-only.
+// the public request API and the supervised runner: cache-key-hashed
+// single-writer execution shards with bounded ring inboxes (429 +
+// Retry-After when a shard's inbox is full), deduplication of identical
+// in-flight requests onto one execution (keyed by the harness cache key,
+// i.e. the configuration fingerprint + mix + window), an optional
+// persistent result store that serves repeat requests from disk without
+// re-simulating and warm-restarts across processes, streaming NDJSON
+// progress for sweeps, health and metrics endpoints exporting the merged
+// observability snapshots, and graceful drain (admitted jobs finish, new
+// submissions are rejected). Everything is stdlib-only.
 package serve
 
 import (
@@ -23,17 +26,27 @@ import (
 	"shelfsim"
 	"shelfsim/internal/obs"
 	"shelfsim/internal/runner"
+	"shelfsim/internal/store"
 )
 
 // Options tunes the service. The zero value is ready for production-ish
-// defaults: a 64-deep queue, one worker per CPU, a 2-minute job timeout.
+// defaults: one shard per CPU, a 64-deep inbox per shard, a 2-minute job
+// timeout, no persistent store.
 type Options struct {
-	// QueueDepth bounds the number of admitted-but-unfinished jobs beyond
-	// the ones executing; a full queue rejects submissions with 429
-	// (default 64).
+	// Shards is the number of single-writer execution shards, i.e. the
+	// number of concurrent simulations (default GOMAXPROCS). Requests are
+	// routed to shards by cache-key hash, so identical requests always
+	// share a shard and execute in submission order.
+	Shards int
+	// QueueDepth bounds each shard's ring inbox — admitted-but-unexecuted
+	// jobs beyond the one executing; a full inbox rejects submissions with
+	// 429 (default 64).
 	QueueDepth int
-	// Workers is the number of concurrent simulations (default GOMAXPROCS).
-	Workers int
+	// Store, when non-nil, persists every completed report and serves
+	// repeat requests from disk instead of re-simulating. The server also
+	// restores its cumulative counters from the store's meta document on
+	// construction and persists them on Close.
+	Store *store.Store
 	// JobTimeout bounds one job's wall-clock time (default 2m; negative
 	// disables the limit).
 	JobTimeout time.Duration
@@ -54,9 +67,9 @@ func (o *Options) queueDepth() int {
 	return 64
 }
 
-func (o *Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+func (o *Options) shards() int {
+	if o.Shards > 0 {
+		return o.Shards
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -93,18 +106,30 @@ func (o *Options) maxBodyBytes() int64 {
 }
 
 // Counters is the service's cumulative accounting, exported by /metrics.
+// With a persistent store attached, counters survive restarts: they are
+// saved to the store's meta document on Close and restored on New.
 type Counters struct {
 	// Submitted counts run submissions (including rejected ones).
 	Submitted int64 `json:"submitted"`
 	// Executed counts simulations actually started; Submitted - Executed -
-	// rejections = deduplicated shares.
+	// StoreHits - rejections = deduplicated shares.
 	Executed int64 `json:"executed"`
 	// DedupHits counts submissions that attached to an identical in-flight
 	// job instead of executing.
 	DedupHits int64 `json:"dedup_hits"`
-	// Completed and Failed count finished executions by outcome.
+	// StoreHits counts jobs answered from the persistent store without
+	// simulating.
+	StoreHits int64 `json:"store_hits"`
+	// Completed and Failed count finished jobs by outcome (store hits
+	// complete without executing).
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	// Abandoned counts queued jobs failed with ErrAbandoned because the
+	// server closed before they executed.
+	Abandoned int64 `json:"abandoned"`
+	// StorePutErrors counts results that completed but could not be
+	// persisted (the response is still served).
+	StorePutErrors int64 `json:"store_put_errors"`
 	// RejectedQueueFull and RejectedDraining count 429 responses by cause.
 	RejectedQueueFull int64 `json:"rejected_queue_full"`
 	RejectedDraining  int64 `json:"rejected_draining"`
@@ -115,7 +140,8 @@ type Counters struct {
 // counters is the atomic backing store for Counters.
 type counters struct {
 	submitted, executed, dedupHits   atomic.Int64
-	completed, failed                atomic.Int64
+	storeHits, storePutErrs          atomic.Int64
+	completed, failed, abandoned     atomic.Int64
 	rejectedQueueFull, rejectedDrain atomic.Int64
 	badRequests                      atomic.Int64
 }
@@ -125,12 +151,37 @@ func (c *counters) snapshot() Counters {
 		Submitted:         c.submitted.Load(),
 		Executed:          c.executed.Load(),
 		DedupHits:         c.dedupHits.Load(),
+		StoreHits:         c.storeHits.Load(),
 		Completed:         c.completed.Load(),
 		Failed:            c.failed.Load(),
+		Abandoned:         c.abandoned.Load(),
+		StorePutErrors:    c.storePutErrs.Load(),
 		RejectedQueueFull: c.rejectedQueueFull.Load(),
 		RejectedDraining:  c.rejectedDrain.Load(),
 		BadRequests:       c.badRequests.Load(),
 	}
+}
+
+// restore seeds the atomic counters from a persisted snapshot (warm
+// restart); only ever called before the server starts serving.
+func (c *counters) restore(s Counters) {
+	c.submitted.Store(s.Submitted)
+	c.executed.Store(s.Executed)
+	c.dedupHits.Store(s.DedupHits)
+	c.storeHits.Store(s.StoreHits)
+	c.completed.Store(s.Completed)
+	c.failed.Store(s.Failed)
+	c.abandoned.Store(s.Abandoned)
+	c.storePutErrs.Store(s.StorePutErrors)
+	c.rejectedQueueFull.Store(s.RejectedQueueFull)
+	c.rejectedDrain.Store(s.RejectedDraining)
+	c.badRequests.Store(s.BadRequests)
+}
+
+// metaDoc is the counters snapshot persisted in the store's meta document
+// across restarts.
+type metaDoc struct {
+	Counters Counters `json:"counters"`
 }
 
 // ErrorBody is the JSON error envelope. Field carries the offending
@@ -146,58 +197,77 @@ type ErrorBody struct {
 type Health struct {
 	// Status is "ok" while admitting and "draining" after BeginDrain.
 	Status string `json:"status"`
-	// QueueLen and QueueDepth describe the bounded queue's occupancy.
+	// QueueLen and QueueDepth describe total inbox occupancy and capacity
+	// across all shards.
 	QueueLen   int `json:"queue_len"`
 	QueueDepth int `json:"queue_depth"`
 	// InFlight counts admitted-but-unfinished jobs (queued + executing).
 	InFlight int64 `json:"in_flight"`
-	// Workers is the simulation worker-pool size.
-	Workers int `json:"workers"`
+	// Shards is the number of single-writer execution shards.
+	Shards int `json:"shards"`
+	// StoreEntries is the persistent store's servable entry count (absent
+	// without a store).
+	StoreEntries int `json:"store_entries,omitempty"`
 	// UptimeMs is milliseconds since the server was created.
 	UptimeMs int64 `json:"uptime_ms"`
 	// SchemaVersion is the wire schema this server speaks.
 	SchemaVersion int `json:"schema_version"`
 }
 
-// Metrics is the /metrics body: service counters plus the merged
-// observability snapshot of every telemetry-enabled job served so far.
+// Metrics is the /metrics body: service counters, persistent-store
+// accounting, plus the merged observability snapshot of every
+// telemetry-enabled job served so far.
 type Metrics struct {
 	Counters  Counters            `json:"counters"`
 	InFlight  int64               `json:"in_flight"`
+	Store     *store.Stats        `json:"store,omitempty"`
 	Telemetry *shelfsim.Telemetry `json:"telemetry,omitempty"`
 }
 
 // Server is the simulation service. Create it with New, mount it as an
 // http.Handler, and stop it with BeginDrain + Wait + Close.
 type Server struct {
-	opts  Options
-	run   *runner.Runner
-	mux   *http.ServeMux
-	queue chan *flight
-	start time.Time
+	opts   Options
+	run    *runner.Runner
+	mux    *http.ServeMux
+	store  *store.Store
+	shards []*shard
+	start  time.Time
 
-	// admission guards the draining flag, the dedup map and enqueueing, so
-	// drain-vs-submit and dedup-vs-completion transitions are atomic.
-	admission sync.Mutex
-	draining  bool
-	flights   map[string]*flight
+	// draining flips once and is checked under each shard's lock during
+	// admission, so drain-vs-submit transitions stay atomic per shard
+	// without any global admission lock on the hot path.
+	draining atomic.Bool
 
-	inflight      sync.WaitGroup
-	inflightGauge atomic.Int64
-	workers       sync.WaitGroup
-	closeOnce     sync.Once
+	// idleMu guards the in-flight count and its idle channel: idleCh is
+	// allocated when the count leaves zero and closed when it returns, so
+	// Wait can block on it without spawning helper goroutines (nothing to
+	// leak when a drain deadline expires).
+	idleMu sync.Mutex
+	active int64
+	idleCh chan struct{}
+
+	owners    sync.WaitGroup
+	closeOnce sync.Once
 
 	counters counters
 
 	telemetryMu sync.Mutex
 	telemetry   *obs.Collector
 
-	// execGate, when set (tests only), is called by a worker immediately
-	// before executing a job; blocking it holds the job in flight.
-	execGate func(cacheKey string)
+	// sweepItems gauges live sweep-item goroutines (tests assert they
+	// drain after a client disconnect).
+	sweepItems atomic.Int64
+
+	// execGate, when set (tests only, via setExecGate), is called by a
+	// shard owner immediately before executing a job; blocking it holds
+	// the job in flight.
+	execGate atomic.Pointer[func(cacheKey string)]
 }
 
-// New builds the service and starts its worker pool.
+// New builds the service and starts one owning goroutine per shard. With
+// a store attached, previously persisted counters are restored, so
+// /metrics is cumulative across restarts.
 func New(opts Options) *Server {
 	s := &Server{
 		opts: opts,
@@ -209,9 +279,20 @@ func New(opts Options) *Server {
 			// on server load.
 			MaxAttempts: 1,
 		},
-		queue:   make(chan *flight, opts.queueDepth()),
-		flights: make(map[string]*flight),
-		start:   time.Now(),
+		store: opts.Store,
+		start: time.Now(),
+	}
+	if s.store != nil {
+		var meta metaDoc
+		if ok, err := s.store.LoadMeta(&meta); err == nil && ok {
+			s.counters.restore(meta.Counters)
+		}
+	}
+	s.shards = make([]*shard, opts.shards())
+	for i := range s.shards {
+		s.shards[i] = newShard(opts.queueDepth())
+		s.owners.Add(1)
+		go s.shards[i].run(s)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -219,11 +300,14 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/kernels", s.handleKernels)
-	for i := 0; i < opts.workers(); i++ {
-		s.workers.Add(1)
-		go s.worker()
-	}
 	return s
+}
+
+// setExecGate installs the test-only execution gate; guarded by an atomic
+// pointer so installing it after New never races with a shard owner's
+// read.
+func (s *Server) setExecGate(gate func(cacheKey string)) {
+	s.execGate.Store(&gate)
 }
 
 // ServeHTTP implements http.Handler.
@@ -234,44 +318,96 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // BeginDrain stops admission: every subsequent submission is rejected with
 // 429 while already-admitted jobs keep executing. Idempotent.
 func (s *Server) BeginDrain() {
-	s.admission.Lock()
-	s.draining = true
-	s.admission.Unlock()
+	s.draining.Store(true)
 }
 
 // Draining reports whether the server has stopped admitting jobs.
 func (s *Server) Draining() bool {
-	s.admission.Lock()
-	defer s.admission.Unlock()
-	return s.draining
+	return s.draining.Load()
 }
 
-// Wait blocks until every admitted job has finished, or ctx expires.
+// jobBegin accounts one admitted job; called under the admitting shard's
+// lock, after the admission decision.
+func (s *Server) jobBegin() {
+	s.idleMu.Lock()
+	s.active++
+	if s.active == 1 {
+		s.idleCh = make(chan struct{})
+	}
+	s.idleMu.Unlock()
+}
+
+// jobEnd retires one admitted job, releasing Wait when the server goes
+// idle.
+func (s *Server) jobEnd() {
+	s.idleMu.Lock()
+	s.active--
+	if s.active == 0 {
+		close(s.idleCh)
+	}
+	s.idleMu.Unlock()
+}
+
+// InFlight counts admitted-but-unfinished jobs (queued + executing).
+func (s *Server) InFlight() int64 {
+	s.idleMu.Lock()
+	defer s.idleMu.Unlock()
+	return s.active
+}
+
+// Wait blocks until every admitted job has finished, or ctx expires. It
+// spawns nothing: an expired deadline leaves no goroutine behind, and
+// Wait can be called again.
 func (s *Server) Wait(ctx context.Context) error {
-	done := make(chan struct{})
-	go func() {
-		s.inflight.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("serve: drain incomplete: %w (jobs in flight: %d)",
-			ctx.Err(), s.inflightGauge.Load())
+	for {
+		s.idleMu.Lock()
+		if s.active == 0 {
+			s.idleMu.Unlock()
+			return nil
+		}
+		idle := s.idleCh
+		n := s.active
+		s.idleMu.Unlock()
+		select {
+		case <-idle:
+			// Re-check: a submission racing the drain may have pushed the
+			// count back up before we observed zero.
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain incomplete: %w (jobs in flight: %d)",
+				ctx.Err(), n)
+		}
 	}
 }
 
-// Close stops the worker pool. Call after BeginDrain + Wait; jobs still
-// queued are abandoned unexecuted (their waiters receive an error).
+// Close stops the shard owners. Call after BeginDrain + Wait for a
+// graceful stop; jobs still queued at Close are abandoned unexecuted and
+// their waiters receive ErrAbandoned (surfaced as 503 over HTTP). With a
+// store attached, the cumulative counters are persisted for the next
+// process. Safe to call more than once.
 func (s *Server) Close() {
 	s.BeginDrain()
-	s.closeOnce.Do(func() { close(s.queue) })
-	s.workers.Wait()
+	s.closeOnce.Do(func() {
+		for _, sh := range s.shards {
+			sh.close()
+		}
+	})
+	s.owners.Wait()
+	if s.store != nil {
+		_ = s.store.SaveMeta(metaDoc{Counters: s.counters.snapshot()})
+	}
 }
 
 // Counters returns a snapshot of the service's cumulative accounting.
 func (s *Server) Counters() Counters { return s.counters.snapshot() }
+
+// queueLen is the total inbox occupancy across shards.
+func (s *Server) queueLen() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.queued()
+	}
+	return n
+}
 
 // writeJSON renders one JSON response body.
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -308,21 +444,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:        status,
-		QueueLen:      len(s.queue),
-		QueueDepth:    s.opts.queueDepth(),
-		InFlight:      s.inflightGauge.Load(),
-		Workers:       s.opts.workers(),
+		QueueLen:      s.queueLen(),
+		QueueDepth:    len(s.shards) * s.opts.queueDepth(),
+		InFlight:      s.InFlight(),
+		Shards:        len(s.shards),
 		UptimeMs:      time.Since(s.start).Milliseconds(),
 		SchemaVersion: shelfsim.SchemaVersion,
-	})
+	}
+	if s.store != nil {
+		h.StoreEntries = s.store.Len()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := Metrics{
 		Counters: s.counters.snapshot(),
-		InFlight: s.inflightGauge.Load(),
+		InFlight: s.InFlight(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		m.Store = &st
 	}
 	s.telemetryMu.Lock()
 	if s.telemetry != nil {
@@ -355,7 +499,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, into any)
 }
 
 // handleRun is POST /v1/run: decode, validate (400 with field on error),
-// submit through the dedup queue (429 + Retry-After under pressure or
+// submit through the dedup shards (429 + Retry-After under pressure or
 // drain), wait, and answer with the versioned Report.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -378,14 +522,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	case <-f.done:
 	case <-r.Context().Done():
 		// The client went away; the job keeps running for deduplicated
-		// waiters and for the telemetry/metrics it feeds.
+		// waiters, the persistent store and the telemetry it feeds.
 		return
 	}
-	if f.err != nil {
+	switch {
+	case errors.Is(f.err, ErrAbandoned):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody(f.err))
+	case f.err != nil:
 		writeJSON(w, http.StatusInternalServerError, errorBody(f.err))
-		return
+	default:
+		writeJSON(w, http.StatusOK, f.report)
 	}
-	writeJSON(w, http.StatusOK, f.report)
 }
 
 // writeSubmitError maps a submission failure onto its HTTP status.

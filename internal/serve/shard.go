@@ -1,0 +1,144 @@
+package serve
+
+import "sync"
+
+// shard is one single-writer execution lane. Flights are routed to shards
+// by cache-key hash, so every submission of a given request — duplicate,
+// repeat, or replay — lands on the same shard and is executed (or served
+// from the store) by the same owning goroutine in ring order. That
+// single-writer discipline is the LMAX lesson: the dedup map and the
+// inbox are only ever contended between the submitting handler and one
+// owner, never across shards, so the hot path takes exactly one
+// uncontended-in-the-common-case lock and no global one.
+type shard struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// ring is the fixed-capacity inbox: head is the oldest queued flight,
+	// count the occupancy. Admission rejects with errQueueFull when the
+	// shard already holds depth flights (queued + executing), matching the
+	// old channel semantics where a handoff to the idle worker never
+	// consumed a buffer slot — so the ring is physically one slot deeper
+	// than depth, covering the window between a push and the owner's pop.
+	ring  []*flight
+	head  int
+	count int
+	depth int
+
+	// executing is true while the owner is running a flight it has already
+	// popped; admission counts it toward occupancy so capacity does not
+	// depend on how quickly the owner wakes.
+	executing bool
+
+	// flights is the shard's slice of the dedup map: cache key -> queued or
+	// executing flight. An entry is removed before its result is published,
+	// so dedup is strictly in-flight sharing (the persistent store, not
+	// this map, is the result cache).
+	flights map[string]*flight
+
+	// closed stops the owner: queued flights are abandoned with
+	// ErrAbandoned and the owning goroutine exits.
+	closed bool
+}
+
+func newShard(depth int) *shard {
+	sh := &shard{
+		ring:    make([]*flight, depth+1),
+		depth:   depth,
+		flights: make(map[string]*flight, depth+1),
+	}
+	sh.cond = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// shardFor routes a cache key to its owning shard (FNV-1a, inlined to
+// keep the hot path allocation-free).
+func (s *Server) shardFor(key string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// full reports whether admission must reject: occupancy (queued plus the
+// flight the owner is executing) has reached depth. The caller holds
+// sh.mu.
+func (sh *shard) full() bool {
+	occ := sh.count
+	if sh.executing {
+		occ++
+	}
+	return occ >= sh.depth+1
+}
+
+// push appends f to the inbox; the caller holds sh.mu and has checked
+// full().
+func (sh *shard) push(f *flight) {
+	sh.ring[(sh.head+sh.count)%len(sh.ring)] = f
+	sh.count++
+}
+
+// pop removes the oldest queued flight; the caller holds sh.mu and has
+// checked occupancy.
+func (sh *shard) pop() *flight {
+	f := sh.ring[sh.head]
+	sh.ring[sh.head] = nil
+	sh.head = (sh.head + 1) % len(sh.ring)
+	sh.count--
+	return f
+}
+
+// queued is the inbox occupancy (flights admitted but not yet picked up
+// by the owner).
+func (sh *shard) queued() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.count
+}
+
+// close stops the shard's owner after it finishes any flight currently
+// executing; still-queued flights will be abandoned, not executed.
+func (sh *shard) close() {
+	sh.mu.Lock()
+	sh.closed = true
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// run is the shard's owning goroutine: it executes queued flights in ring
+// order until the shard closes, then fails whatever is still queued so no
+// waiter is left blocked (the Close contract: queued jobs are abandoned
+// unexecuted and their waiters receive ErrAbandoned).
+func (sh *shard) run(s *Server) {
+	defer s.owners.Done()
+	for {
+		sh.mu.Lock()
+		sh.executing = false
+		for sh.count == 0 && !sh.closed {
+			sh.cond.Wait()
+		}
+		if sh.closed {
+			abandoned := make([]*flight, 0, sh.count)
+			for sh.count > 0 {
+				f := sh.pop()
+				delete(sh.flights, f.key)
+				abandoned = append(abandoned, f)
+			}
+			sh.mu.Unlock()
+			for _, f := range abandoned {
+				s.abandon(f)
+			}
+			return
+		}
+		f := sh.pop()
+		sh.executing = true
+		sh.mu.Unlock()
+		s.execute(sh, f)
+	}
+}

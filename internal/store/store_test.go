@@ -1,0 +1,265 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"shelfsim"
+)
+
+// report runs a tiny real simulation so entries carry genuine cache keys
+// and fingerprints; vary n for distinct keys.
+func report(t *testing.T, n int64) shelfsim.Report {
+	t.Helper()
+	rep, err := shelfsim.RunReport(context.Background(), shelfsim.Request{
+		Preset: "base64", Kernels: []string{"stream"}, Insts: 200 + n,
+	})
+	if err != nil {
+		t.Fatalf("running fixture simulation: %v", err)
+	}
+	return rep
+}
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// TestPutGetRoundTrip: a stored report comes back bit-equal — same result
+// fingerprint, same cycles — and the hit/miss accounting tracks it.
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir())
+	rep := report(t, 0)
+	if err := s.Put(rep.CacheKey, rep); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(rep.CacheKey)
+	if !ok {
+		t.Fatal("Get missed a just-put entry")
+	}
+	if got.ResultFingerprint != rep.ResultFingerprint || got.Cycles != rep.Cycles {
+		t.Errorf("round trip changed the report: got %s/%d, want %s/%d",
+			got.ResultFingerprint, got.Cycles, rep.ResultFingerprint, rep.Cycles)
+	}
+	if _, ok := s.Get("no-such-key"); ok {
+		t.Error("Get hit an absent key")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestWarmRestart: a second Open over the same directory serves the first
+// process's results — the entry is indexed (WarmEntries) and Get returns a
+// report whose fingerprint is byte-identical to the one stored.
+func TestWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	rep := report(t, 1)
+	first := open(t, dir)
+	if err := first.Put(rep.CacheKey, rep); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	second := open(t, dir)
+	if st := second.Stats(); st.WarmEntries != 1 || st.Entries != 1 || st.SkippedOnOpen != 0 {
+		t.Fatalf("warm stats: %+v", st)
+	}
+	got, ok := second.Get(rep.CacheKey)
+	if !ok {
+		t.Fatal("warm Get missed")
+	}
+	if got.ResultFingerprint != rep.ResultFingerprint {
+		t.Errorf("warm fingerprint %s != stored %s", got.ResultFingerprint, rep.ResultFingerprint)
+	}
+	// The fresh-run differential: re-simulating the same request must
+	// fingerprint identically to the stored entry.
+	fresh := report(t, 1)
+	if fresh.ResultFingerprint != got.ResultFingerprint {
+		t.Errorf("fresh run fingerprint %s != stored %s", fresh.ResultFingerprint, got.ResultFingerprint)
+	}
+}
+
+// TestCrashConsistency: a kill mid-write leaves an orphaned temporary and
+// possibly truncated bytes; the next Open must remove the temporary,
+// refuse the corrupt entry, and keep serving the good ones.
+func TestCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	good := report(t, 2)
+	s := open(t, dir)
+	if err := s.Put(good.CacheKey, good); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// A writer that died before the rename: partial bytes under a tmp name.
+	tmp := filepath.Join(dir, tmpPrefix+"123456")
+	full, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tmp, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt final entry (disk damage after a successful write).
+	corrupt := filepath.Join(dir, strings.Repeat("ab", 32)+entryExt)
+	if err := os.WriteFile(corrupt, full[:len(full)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("orphaned temporary survived Open: %v", err)
+	}
+	st := s2.Stats()
+	if st.Entries != 1 || st.SkippedOnOpen != 1 {
+		t.Errorf("post-crash stats: %+v", st)
+	}
+	if _, ok := s2.Get(good.CacheKey); !ok {
+		t.Error("good entry lost after crash recovery")
+	}
+}
+
+// TestSchemaVersionRejection: an entry written by a different (future)
+// schema version must be skipped on warm restart, not misread.
+func TestSchemaVersionRejection(t *testing.T) {
+	dir := t.TempDir()
+	rep := report(t, 3)
+	s := open(t, dir)
+	if err := s.Put(rep.CacheKey, rep); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// Rewrite the entry in place with a foreign schema version, keeping
+	// everything else (filename included) valid.
+	path := s.keyPath(rep.CacheKey)
+	var raw map[string]any
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["schema_version"] = shelfsim.SchemaVersion + 98
+	foreign, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, foreign, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	st := s2.Stats()
+	if st.Entries != 0 || st.SkippedOnOpen != 1 {
+		t.Errorf("foreign-schema stats: %+v", st)
+	}
+	if _, ok := s2.Get(rep.CacheKey); ok {
+		t.Error("foreign-schema entry was served")
+	}
+}
+
+// TestMismatchedFilenameRejected: an entry whose content does not hash to
+// its own filename (copied or tampered) is not indexed.
+func TestMismatchedFilenameRejected(t *testing.T) {
+	dir := t.TempDir()
+	rep := report(t, 4)
+	s := open(t, dir)
+	if err := s.Put(rep.CacheKey, rep); err != nil {
+		t.Fatal(err)
+	}
+	src := s.keyPath(rep.CacheKey)
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias := filepath.Join(dir, strings.Repeat("cd", 32)+entryExt)
+	if err := os.WriteFile(alias, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	if st := s2.Stats(); st.Entries != 1 || st.SkippedOnOpen != 1 {
+		t.Errorf("aliased-entry stats: %+v", st)
+	}
+}
+
+// TestPutKeyMismatch: storing a report under a key it does not carry is a
+// caller bug and must be refused before touching disk.
+func TestPutKeyMismatch(t *testing.T) {
+	s := open(t, t.TempDir())
+	rep := report(t, 5)
+	if err := s.Put("some-other-key", rep); err == nil {
+		t.Error("Put accepted a mismatched key")
+	}
+	if err := s.Put("", rep); err == nil {
+		t.Error("Put accepted an empty key")
+	}
+	if s.Len() != 0 {
+		t.Errorf("store has %d entries after rejected puts", s.Len())
+	}
+}
+
+// TestMetaRoundTrip: the auxiliary document survives a reopen and a
+// corrupt one reads as absent.
+func TestMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	type meta struct {
+		Completed int64 `json:"completed"`
+	}
+	s := open(t, dir)
+	if ok, err := s.LoadMeta(&meta{}); ok || err != nil {
+		t.Fatalf("LoadMeta on empty store: ok=%v err=%v", ok, err)
+	}
+	if err := s.SaveMeta(meta{Completed: 42}); err != nil {
+		t.Fatalf("SaveMeta: %v", err)
+	}
+	var m meta
+	s2 := open(t, dir)
+	if ok, err := s2.LoadMeta(&m); !ok || err != nil || m.Completed != 42 {
+		t.Fatalf("LoadMeta after reopen: ok=%v err=%v m=%+v", ok, err, m)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaName), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s2.LoadMeta(&m); ok || err != nil {
+		t.Errorf("corrupt meta: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestConcurrentPutGet exercises the index under -race: concurrent
+// writers and readers over overlapping keys must never corrupt the store.
+func TestConcurrentPutGet(t *testing.T) {
+	s := open(t, t.TempDir())
+	reps := []shelfsim.Report{report(t, 6), report(t, 7), report(t, 8)}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				rep := reps[(w+i)%len(reps)]
+				if err := s.Put(rep.CacheKey, rep); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok := s.Get(rep.CacheKey); ok && got.ResultFingerprint != rep.ResultFingerprint {
+					t.Errorf("Get returned wrong report for %s", rep.CacheKey)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != len(reps) {
+		t.Errorf("store has %d entries, want %d", s.Len(), len(reps))
+	}
+}

@@ -33,15 +33,23 @@ go test -race -count=1 -run TestTelemetryParallelMergeMatchesSerial ./internal/r
 go test -race -count=1 ./internal/serve/ ./client/
 
 # shelfd end-to-end smoke: build the server with -race, boot it on an
-# ephemeral port, drive a concurrent duplicate burst through the typed
-# client (TestExternalServerSmoke asserts /healthz, pairwise fingerprint
-# identity and the /metrics dedup accounting), then SIGTERM it and require
-# a clean graceful-drain exit code.
+# ephemeral port with a temporary persistent store, drive a concurrent
+# duplicate burst through the typed client (TestExternalServerSmoke
+# asserts /healthz, pairwise fingerprint identity and the /metrics
+# dedup/store accounting), then a mixed hot/cold shelfload sweep that
+# must produce store hits and publishes BENCH_serve.json. SIGTERM the
+# server (clean graceful-drain exit required), boot a second process on
+# the SAME store, and require a hot-only sweep to be answered from the
+# warm store (restart-then-rehit) with the served fingerprints matching
+# an in-process run (-differential): the restart differential.
 SHELFD="${SHELFD:-/tmp/shelfsim-tools/shelfd}"
+SHELFLOAD="${SHELFLOAD:-/tmp/shelfsim-tools/shelfload}"
 go build -race -o "$SHELFD" ./cmd/shelfd
+go build -o "$SHELFLOAD" ./cmd/shelfload
+STOREDIR="$(mktemp -d)"
 ADDRFILE="$(mktemp)"
 rm -f "$ADDRFILE" # shelfd rewrites it once the listener is bound
-"$SHELFD" -addr 127.0.0.1:0 -addrfile "$ADDRFILE" &
+"$SHELFD" -addr 127.0.0.1:0 -addrfile "$ADDRFILE" -store "$STOREDIR" &
 SHELFD_PID=$!
 tries=0
 while [ ! -s "$ADDRFILE" ]; do
@@ -50,9 +58,45 @@ while [ ! -s "$ADDRFILE" ]; do
     sleep 0.1
 done
 SHELFD_ADDR="$(cat "$ADDRFILE")" go test -race -count=1 -run TestExternalServerSmoke ./client/
+"$SHELFLOAD" -addr "$(cat "$ADDRFILE")" -n 120 -conc 8 -hot 0.7 -hotset 4 -insts 2000 \
+    -min-store-hits 1 -differential -out BENCH_serve.json
 kill -TERM "$SHELFD_PID"
 wait "$SHELFD_PID" # non-zero here means the graceful drain failed
 rm -f "$ADDRFILE"
+"$SHELFD" -addr 127.0.0.1:0 -addrfile "$ADDRFILE" -store "$STOREDIR" &
+SHELFD_PID=$!
+tries=0
+while [ ! -s "$ADDRFILE" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || { echo "restarted shelfd did not come up"; exit 1; }
+    sleep 0.1
+done
+# Hot-only sweep over windows the first process stored: nothing may
+# re-simulate (hit rate ~1.0), and the served fingerprints must equal an
+# in-process run of the same request.
+"$SHELFLOAD" -addr "$(cat "$ADDRFILE")" -n 40 -conc 8 -hot 1.0 -hotset 4 -insts 2000 \
+    -min-store-hits 1 -min-store-hit-rate 0.9 -differential
+kill -TERM "$SHELFD_PID"
+wait "$SHELFD_PID"
+rm -f "$ADDRFILE"
+rm -rf "$STOREDIR"
+
+# Serving-layer perf gate. BENCH_serve.json (from the mixed hot/cold
+# shelfload sweep above, against the -race server binary) records request
+# latency and the cache effectiveness of the serving stack; the gate
+# fails if p99 latency exceeds the checked-in ceiling or the store hit
+# rate falls below the floor. Like the core baseline, the ceiling is set
+# far above quiet-machine numbers because shared runners swing latency.
+MAX_P99=$(sed -n 's/.*"max_p99_ms": *\([0-9.][0-9.]*\).*/\1/p' scripts/bench_serve_baseline.json)
+MIN_HIT=$(sed -n 's/.*"min_store_hit_rate": *\([0-9.][0-9.]*\).*/\1/p' scripts/bench_serve_baseline.json)
+P99=$(sed -n 's/.*"p99_ms": *\([0-9.][0-9.]*\).*/\1/p' BENCH_serve.json)
+HITRATE=$(sed -n 's/.*"store_hit_rate": *\([0-9.][0-9.]*\).*/\1/p' BENCH_serve.json)
+awk -v p99="$P99" -v max="$MAX_P99" -v hit="$HITRATE" -v min="$MIN_HIT" 'BEGIN {
+    if (p99 == "" || max == "" || hit == "" || min == "") { print "missing BENCH_serve values"; exit 1 }
+    if (p99 + 0 > max + 0) { printf "serve p99 %.1f ms above ceiling %.1f ms\n", p99, max; exit 1 }
+    if (hit + 0 < min + 0) { printf "store hit rate %.3f below floor %.3f\n", hit, min; exit 1 }
+}'
+cat BENCH_serve.json
 
 # Memory-model torture gate: a fixed-seed litmus smoke campaign (1000
 # instances across all six patterns) under -race with per-cycle invariants
