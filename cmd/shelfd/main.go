@@ -101,7 +101,9 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil && drainErr == nil {
 		drainErr = fmt.Errorf("http shutdown: %w", err)
 	}
-	srv.Close()
+	if err := srv.Close(); err != nil && drainErr == nil {
+		drainErr = err
+	}
 	if drainErr != nil {
 		log.Fatalf("shelfd: %v", drainErr)
 	}

@@ -73,75 +73,54 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
-// ignoreDirective is the comment prefix that suppresses diagnostics:
-// `//shelfvet:ignore name1,name2` (or bare `//shelfvet:ignore` for all
-// analyzers) on the same line as, or the line directly above, the flagged
-// position. A justification may follow the names after an em-dash. Use it
-// only for individually audited sites; CI has no warn-only mode.
-const ignoreDirective = "//shelfvet:ignore"
-
-// ignoredLines maps "<filename>:<line>" to the set of analyzer names
-// suppressed there ("" = all).
-func ignoredLines(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
-	out := map[string]map[string]bool{}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
-				if !ok {
-					continue
-				}
-				names := map[string]bool{}
-				rest = strings.TrimSpace(rest)
-				// An inline justification may follow the names after an
-				// em-dash: `//shelfvet:ignore hotalloc — audited growth path`.
-				if i := strings.Index(rest, "—"); i >= 0 {
-					rest = strings.TrimSpace(rest[:i])
-				}
-				if rest == "" {
-					names[""] = true
-				}
-				for _, n := range strings.Split(rest, ",") {
-					if n = strings.TrimSpace(n); n != "" {
-						names[n] = true
-					}
-				}
-				pos := fset.Position(c.Pos())
-				// The directive covers its own line and the next one, so it
-				// works both as a trailing comment and on a line of its own.
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					key := fmt.Sprintf("%s:%d", pos.Filename, line)
-					if out[key] == nil {
-						out[key] = map[string]bool{}
-					}
-					for n := range names {
-						out[key][n] = true
-					}
-				}
-			}
-		}
-	}
-	return out
-}
-
 // RunAnalyzers executes each analyzer over one type-checked package and
 // returns the surviving diagnostics sorted by position, with
 // //shelfvet:ignore suppressions already applied.
+//
+// Directives are audited as they suppress: one that suppresses nothing
+// from any running analyzer it names (or from any analyzer at all, for
+// bare directives) produces an "unusedignore" diagnostic at the
+// directive itself, so stale ignores fail the gate instead of silently
+// masking the next regression. The audit only runs for a package's base
+// unit — test variants ("p [p.test]") re-analyze the same files with
+// scope rules that deliberately skip test scaffolding, which would
+// double-report or miss directives.
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	ignored := ignoredLines(fset, files)
+	directives := ParseDirectives(fset, files)
+	running := map[string]bool{}
 	var all []Diagnostic
 	for _, a := range analyzers {
+		running[a.Name] = true
 		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 		for _, d := range pass.diags {
 			p := fset.Position(d.Pos)
-			key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
-			if s := ignored[key]; s != nil && (s[""] || s[d.Analyzer]) {
+			suppressed := false
+			for _, dir := range directives {
+				if dir.suppresses(p.Filename, p.Line, d.Analyzer) {
+					dir.used = true
+					suppressed = true
+				}
+			}
+			if suppressed {
 				continue
 			}
 			all = append(all, d)
+		}
+	}
+	if !strings.Contains(pkg.Path(), " [") {
+		for _, dir := range directives {
+			if dir.applicable(running) && !dir.used {
+				all = append(all, Diagnostic{
+					Pos:      dir.Pos,
+					Analyzer: UnusedIgnoreName,
+					Message: fmt.Sprintf(
+						"unused //shelfvet:ignore directive: it suppresses no diagnostic from %s — stale ignores mask regressions, delete it",
+						dir.nameList()),
+				})
+			}
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {

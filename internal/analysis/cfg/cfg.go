@@ -1,0 +1,502 @@
+// Package cfg builds per-function control-flow graphs from go/ast, the
+// foundation the flow-sensitive shelfvet checkers (lockdiscipline,
+// goroleak) stand on. Like the rest of internal/analysis it is
+// stdlib-only: a deliberately small analogue of
+// golang.org/x/tools/go/cfg that models exactly the control flow the
+// concurrency checkers need.
+//
+// A Graph is a set of basic blocks. Each block carries the statements
+// and branch-condition expressions that execute in order when control
+// enters it, plus successor/predecessor edges. Three blocks are special:
+//
+//   - Entry: where control enters the function body;
+//   - Exit: the normal-return exit — every `return` and falling off the
+//     end of the body edge here;
+//   - Panic: the panicking exit — every explicit `panic(...)` call edges
+//     here. Deferred calls run on the way to either exit, which is why
+//     the lock-discipline analysis treats `defer mu.Unlock()` as
+//     covering both.
+//
+// Implicit runtime panics (nil derefs, index errors) are deliberately
+// not modeled: adding a panic edge after every statement would force
+// every lock pair onto a defer, drowning real findings. Explicit
+// `panic` calls — which this repo uses for typed invariant violations —
+// are where the discipline actually breaks in practice.
+//
+// Blocks that cannot execute (statements after an unconditional return,
+// the join after `for {}` with no break) stay in the graph with
+// Live=false, so dataflow clients can skip them and the fuzz target can
+// assert every node is reachable-or-dead-marked.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first. Exit is the normal-return
+	// exit; Panic the explicit-panic exit. Exit and Panic carry no nodes.
+	Entry, Exit, Panic *Block
+	// Blocks lists every block, Entry first; indices match positions.
+	Blocks []*Block
+}
+
+// Block is one basic block: nodes that execute in order, with control
+// transferring to exactly one successor afterwards.
+type Block struct {
+	Index int
+	// Nodes holds the statements and branch-condition expressions of the
+	// block in execution order. Composite statements (if/for/switch/...)
+	// are never stored whole — their conditions appear here and their
+	// bodies in successor blocks — so a dataflow transfer visiting Nodes
+	// sees each primitive operation exactly once.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Live reports whether the block is reachable from Entry. Dead
+	// blocks (code after a return, loops never exited) are kept so every
+	// parsed statement lands in exactly one block.
+	Live bool
+}
+
+// addEdge wires b -> s.
+func addEdge(b, s *Block) {
+	b.Succs = append(b.Succs, s)
+	s.Preds = append(s.Preds, b)
+}
+
+// New builds the graph of one function body. It never returns nil, even
+// for an empty body: Entry edges straight to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*lblock{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	g.Panic = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is an implicit return.
+	b.jump(g.Exit)
+	g.markLive()
+	return g
+}
+
+// markLive flags every block reachable from Entry.
+func (g *Graph) markLive() {
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if b.Live {
+			return
+		}
+		b.Live = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+}
+
+// Check verifies the graph's structural invariants: edge mirrors are
+// consistent, indices match positions, Entry is live, and Live is
+// exactly the set reachable from Entry. The fuzz target and the
+// self-check mode call it after every build.
+func (g *Graph) Check() error {
+	seen := map[*Block]int{}
+	for i, b := range g.Blocks {
+		if b == nil {
+			return fmt.Errorf("cfg: nil block at index %d", i)
+		}
+		if b.Index != i {
+			return fmt.Errorf("cfg: block %d carries index %d", i, b.Index)
+		}
+		seen[b] = i
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if _, ok := seen[s]; !ok {
+				return fmt.Errorf("cfg: block %d has successor outside the graph", b.Index)
+			}
+			if !hasEdge(s.Preds, b) {
+				return fmt.Errorf("cfg: edge %d->%d not mirrored in preds", b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			if !hasEdge(p.Succs, b) {
+				return fmt.Errorf("cfg: pred edge %d->%d not mirrored in succs", p.Index, b.Index)
+			}
+		}
+	}
+	// Live must be the exact reachable set.
+	reach := map[*Block]bool{}
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	for _, b := range g.Blocks {
+		if b.Live != reach[b] {
+			return fmt.Errorf("cfg: block %d Live=%v but reachable=%v", b.Index, b.Live, reach[b])
+		}
+	}
+	if !g.Entry.Live {
+		return fmt.Errorf("cfg: entry not live")
+	}
+	return nil
+}
+
+func hasEdge(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// lblock tracks the blocks a label can transfer control to.
+type lblock struct {
+	_goto     *Block
+	_break    *Block
+	_continue *Block
+}
+
+// builder walks the statement tree appending to the current block and
+// splitting at control flow.
+type builder struct {
+	g   *Graph
+	cur *Block
+	// breakTo / continueTo are the innermost unlabeled targets.
+	breakTo    *Block
+	continueTo *Block
+	labels     map[string]*lblock
+	// label is the pending label for the next loop/switch/select
+	// statement, so `continue L` can resolve.
+	label *lblock
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump ends the current block with an edge to target and leaves the
+// builder in a fresh unreachable block (statements after an
+// unconditional transfer are dead but still get a home).
+func (b *builder) jump(target *Block) {
+	addEdge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// labeledBlock returns (creating on first reference, so forward gotos
+// resolve) the lblock for name.
+func (b *builder) labeledBlock(name string) *lblock {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &lblock{_goto: b.newBlock()}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BadStmt, *ast.EmptyStmt:
+		// no flow, no nodes
+
+	case *ast.LabeledStmt:
+		lb := b.labeledBlock(s.Label.Name)
+		addEdge(b.cur, lb._goto)
+		b.cur = lb._goto
+		b.label = lb
+		b.stmt(s.Stmt)
+		// A label on a non-loop statement must not leak onto the next
+		// loop in the block.
+		b.label = nil
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicCall(call) {
+			b.jump(b.g.Panic)
+		}
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		then := b.newBlock()
+		done := b.newBlock()
+		els := done
+		if s.Else != nil {
+			els = b.newBlock()
+		}
+		addEdge(b.cur, then)
+		addEdge(b.cur, els)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.jump(done)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt, DeferStmt:
+		// straight-line nodes. A send can block, but control never forks.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	var target *Block
+	switch s.Tok {
+	case token.BREAK:
+		target = b.breakTo
+		if s.Label != nil {
+			if lb := b.labels[s.Label.Name]; lb != nil {
+				target = lb._break
+			}
+		}
+	case token.CONTINUE:
+		target = b.continueTo
+		if s.Label != nil {
+			if lb := b.labels[s.Label.Name]; lb != nil {
+				target = lb._continue
+			}
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			target = b.labeledBlock(s.Label.Name)._goto
+		}
+	case token.FALLTHROUGH:
+		// Handled inside switchStmt; a stray fallthrough (invalid Go)
+		// degrades to straight-line flow.
+		return
+	}
+	if target == nil {
+		// break/continue outside any loop: invalid Go. Treat as a jump to
+		// Exit so the builder stays total on malformed inputs (the fuzz
+		// target feeds it anything that parses).
+		target = b.g.Exit
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s)
+	b.jump(target)
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.newBlock()
+	body := b.newBlock()
+	done := b.newBlock()
+	addEdge(b.cur, header)
+	if s.Cond != nil {
+		header.Nodes = append(header.Nodes, s.Cond)
+		addEdge(header, done)
+	}
+	addEdge(header, body)
+
+	post := header
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+	if lb := b.takeLabel(); lb != nil {
+		lb._break = done
+		lb._continue = post
+	}
+	savedBreak, savedCont := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = done, post
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(post)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.jump(header)
+	}
+	b.breakTo, b.continueTo = savedBreak, savedCont
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	// The range expression is evaluated once, in the current block; each
+	// iteration's key/value assignment happens in the header.
+	b.cur.Nodes = append(b.cur.Nodes, s.X)
+	header := b.newBlock()
+	body := b.newBlock()
+	done := b.newBlock()
+	addEdge(b.cur, header)
+	addEdge(header, body)
+	addEdge(header, done) // ranges always terminate statically (a closed channel, an exhausted map)
+	if lb := b.takeLabel(); lb != nil {
+		lb._break = done
+		lb._continue = header
+	}
+	savedBreak, savedCont := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = done, header
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(header)
+	b.breakTo, b.continueTo = savedBreak, savedCont
+	b.cur = done
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+	}
+	b.caseClauses(s.Body.List, true)
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+	b.caseClauses(s.Body.List, false)
+}
+
+// caseClauses builds the shared switch shape: every case block hangs off
+// the header, a missing default adds a header->done edge, fallthrough
+// (expression switches only) edges into the next case's body.
+func (b *builder) caseClauses(clauses []ast.Stmt, allowFallthrough bool) {
+	header := b.cur
+	done := b.newBlock()
+	if lb := b.takeLabel(); lb != nil {
+		lb._break = done
+	}
+	savedBreak := b.breakTo
+	b.breakTo = done
+
+	// Pre-create case blocks so fallthrough can edge forward.
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		addEdge(header, done)
+	}
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		addEdge(header, blocks[i])
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.cur.Nodes = append(b.cur.Nodes, e)
+		}
+		fell := false
+		for _, st := range cc.Body {
+			if br, isBr := st.(*ast.BranchStmt); isBr && br.Tok == token.FALLTHROUGH && allowFallthrough {
+				if i+1 < len(blocks) {
+					b.jump(blocks[i+1])
+					fell = true
+				}
+				break
+			}
+			b.stmt(st)
+		}
+		if !fell {
+			b.jump(done)
+		}
+	}
+	b.breakTo = savedBreak
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	header := b.cur
+	done := b.newBlock()
+	if lb := b.takeLabel(); lb != nil {
+		lb._break = done
+	}
+	savedBreak := b.breakTo
+	b.breakTo = done
+
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		addEdge(header, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(done)
+	}
+	// A `select {}` with no cases blocks forever: done stays dead.
+	b.breakTo = savedBreak
+	b.cur = done
+}
+
+// takeLabel consumes the pending label (set by the enclosing
+// LabeledStmt) so nested loops don't inherit it.
+func (b *builder) takeLabel() *lblock {
+	lb := b.label
+	b.label = nil
+	return lb
+}
+
+// isPanicCall reports whether call is a direct call of the panic
+// builtin. Identification is purely syntactic (the package carries no
+// type information); shadowing `panic` with a local function would fool
+// it, which no code in this repo does.
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,280 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses one function body and builds its graph.
+func buildFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	g := New(fd.Body)
+	if err := g.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return g
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, "x := 1\n_ = x")
+	if !g.Exit.Live {
+		t.Fatal("exit not reachable for straight-line body")
+	}
+	if g.Panic.Live {
+		t.Fatal("panic exit live without a panic call")
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2", len(g.Entry.Nodes))
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := buildFunc(t, `
+x := 0
+if x > 0 {
+	x = 1
+} else {
+	x = 2
+}
+_ = x`)
+	if !g.Exit.Live {
+		t.Fatal("exit unreachable")
+	}
+	// The entry block must fork: two successors (then, else).
+	if n := len(g.Entry.Succs); n != 2 {
+		t.Fatalf("entry succs = %d, want 2", n)
+	}
+}
+
+func TestReturnMakesTailDead(t *testing.T) {
+	g := buildFunc(t, "return\nx := 1\n_ = x")
+	dead := 0
+	for _, b := range g.Blocks {
+		if !b.Live && len(b.Nodes) > 0 {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Fatal("statements after return should land in a dead block")
+	}
+}
+
+func TestInfiniteLoopNoExit(t *testing.T) {
+	g := buildFunc(t, "for {\n\tx := 1\n\t_ = x\n}")
+	if g.Exit.Live {
+		t.Fatal("exit reachable despite for{} with no break or return")
+	}
+}
+
+func TestLoopBreakReachesExit(t *testing.T) {
+	g := buildFunc(t, "for {\n\tbreak\n}")
+	if !g.Exit.Live {
+		t.Fatal("exit unreachable despite break")
+	}
+}
+
+func TestLoopCondExits(t *testing.T) {
+	g := buildFunc(t, "for i := 0; i < 10; i++ {\n\t_ = i\n}")
+	if !g.Exit.Live {
+		t.Fatal("exit unreachable for bounded loop")
+	}
+}
+
+func TestRangeExits(t *testing.T) {
+	g := buildFunc(t, "xs := []int{1}\nfor _, x := range xs {\n\t_ = x\n}")
+	if !g.Exit.Live {
+		t.Fatal("exit unreachable after range")
+	}
+}
+
+func TestPanicEdges(t *testing.T) {
+	g := buildFunc(t, `panic("boom")`)
+	if !g.Panic.Live {
+		t.Fatal("panic exit not reachable from explicit panic")
+	}
+	if g.Exit.Live {
+		t.Fatal("normal exit reachable despite unconditional panic")
+	}
+}
+
+func TestConditionalPanic(t *testing.T) {
+	g := buildFunc(t, `
+x := 1
+if x > 0 {
+	panic("boom")
+}
+_ = x`)
+	if !g.Panic.Live || !g.Exit.Live {
+		t.Fatalf("want both exits live, got exit=%v panic=%v", g.Exit.Live, g.Panic.Live)
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	// With a default clause there is no header->done edge, but every
+	// case flows to done.
+	g := buildFunc(t, `
+x := 1
+switch x {
+case 1:
+	x = 2
+	fallthrough
+case 2:
+	x = 3
+default:
+	x = 4
+}
+_ = x`)
+	if !g.Exit.Live {
+		t.Fatal("exit unreachable after switch")
+	}
+}
+
+func TestSwitchAllCasesReturnWithDefault(t *testing.T) {
+	g := buildFunc(t, `
+x := 1
+switch x {
+case 1:
+	return
+default:
+	return
+}`)
+	if !g.Exit.Live {
+		t.Fatal("returns must reach exit")
+	}
+	// With a default present and every case returning, the switch's join
+	// block is dead: the only edges into Exit are the returns.
+	for _, p := range g.Exit.Preds {
+		if !p.Live && len(p.Nodes) > 0 {
+			t.Fatalf("non-empty dead block %d edges into exit", p.Index)
+		}
+	}
+}
+
+func TestSelectBlocksForever(t *testing.T) {
+	g := buildFunc(t, "select {}")
+	if g.Exit.Live {
+		t.Fatal("select{} must not reach exit")
+	}
+}
+
+func TestSelectWithCases(t *testing.T) {
+	g := buildFunc(t, `
+ch := make(chan int)
+select {
+case v := <-ch:
+	_ = v
+case ch <- 1:
+}`)
+	if !g.Exit.Live {
+		t.Fatal("exit unreachable after select with cases")
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := buildFunc(t, `
+x := 1
+goto done
+x = 2
+done:
+	_ = x`)
+	if !g.Exit.Live {
+		t.Fatal("exit unreachable with forward goto")
+	}
+	// x = 2 is skipped by the goto: it must live in a dead block.
+	dead := false
+	for _, b := range g.Blocks {
+		if !b.Live && len(b.Nodes) > 0 {
+			dead = true
+		}
+	}
+	if !dead {
+		t.Fatal("statement jumped over by goto should be dead")
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := buildFunc(t, `
+x := 0
+loop:
+	x++
+	if x < 10 {
+		goto loop
+	}`)
+	if !g.Exit.Live {
+		t.Fatal("exit unreachable with backward goto")
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := buildFunc(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for {
+			if i == 1 {
+				continue outer
+			}
+			break outer
+		}
+	}`)
+	if !g.Exit.Live {
+		t.Fatal("exit unreachable with labeled break")
+	}
+}
+
+func TestDeferStaysInBlock(t *testing.T) {
+	g := buildFunc(t, "defer f()\nreturn")
+	found := false
+	for _, n := range g.Entry.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("defer statement should appear as a node in its block")
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	g := buildFunc(t, "")
+	if !g.Exit.Live {
+		t.Fatal("empty body must fall through to exit")
+	}
+}
+
+// TestShardRunShape mirrors the shard-owner pattern from internal/serve:
+// an unconditional outer loop whose only exit is a return inside a
+// conditional, with a cond.Wait inner loop. The CFG must find the exit
+// reachable and keep the back edges consistent.
+func TestShardRunShape(t *testing.T) {
+	g := buildFunc(t, `
+for {
+	lock()
+	for count == 0 && !closed {
+		wait()
+	}
+	if closed {
+		unlock()
+		return
+	}
+	unlock()
+	execute()
+}`)
+	if !g.Exit.Live {
+		t.Fatal("shard-run shape: return path not found")
+	}
+	if g.Panic.Live {
+		t.Fatal("shard-run shape: no panic in body")
+	}
+}

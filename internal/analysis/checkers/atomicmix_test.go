@@ -1,0 +1,15 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Atomicmix,
+		"atomicmix/flagged", // plain reads/writes of atomic words, value copies
+		"atomicmix/clean",   // consistent atomics, pointer currency
+	)
+}

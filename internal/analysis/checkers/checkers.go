@@ -23,6 +23,10 @@ func All() []*analysis.Analyzer {
 		Maprange,
 		Walltime,
 		Hotalloc,
+		Lockdiscipline,
+		Atomicmix,
+		Goroleak,
+		Errdrop,
 	}
 }
 

@@ -1,0 +1,16 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Errdrop,
+		"errdrop/store",  // the temp/fsync/rename dance, audited GC drop, defer exemption
+		"errdrop/serve",  // store + codec + json drops, clean counterpart, audited encode
+		"errdrop/caller", // store methods policed from anywhere; own json is not
+	)
+}

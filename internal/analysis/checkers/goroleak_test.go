@@ -1,0 +1,15 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Goroleak,
+		"goroleak/serve", // policed: leak shapes flagged, shutdown idioms accepted
+		"goroleak/other", // unpoliced package: no reports
+	)
+}

@@ -1,0 +1,15 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"shelfsim/internal/analysis/analysistest"
+	"shelfsim/internal/analysis/checkers"
+)
+
+func TestLockdiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Lockdiscipline,
+		"lockdiscipline/flagged", // every bug class, plus one audited ignore
+		"lockdiscipline/clean",   // every locking idiom the repo uses
+	)
+}

@@ -1,0 +1,53 @@
+// Package clean uses atomics consistently: every access to an atomic
+// word goes through sync/atomic, and atomic-typed values move only by
+// pointer or method.
+package clean
+
+import "sync/atomic"
+
+type counters struct {
+	ops     int64
+	pending atomic.Int64
+	gate    atomic.Pointer[func(string)]
+	drain   atomic.Bool
+	plain   int64 // never touched atomically; plain access is fine
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.ops, 1)
+	c.pending.Add(1)
+}
+
+func (c *counters) read() (int64, int64) {
+	return atomic.LoadInt64(&c.ops), c.pending.Load()
+}
+
+// methodsOnly drives the typed atomics exclusively through their API.
+func (c *counters) methodsOnly(f func(string)) bool {
+	c.gate.Store(&f)
+	if g := c.gate.Load(); g != nil {
+		(*g)("key")
+	}
+	c.drain.Store(true)
+	return c.drain.CompareAndSwap(true, false)
+}
+
+// byPointer hands an atomic value around the correct way.
+func byPointer(n *atomic.Int64) int64 {
+	return n.Add(1)
+}
+
+// plainField never meets sync/atomic, so plain access is untracked.
+func (c *counters) plainField() int64 {
+	c.plain++
+	return c.plain
+}
+
+func init() {
+	c := &counters{}
+	c.bump()
+	_, _ = c.read()
+	_ = c.methodsOnly(func(string) {})
+	_ = byPointer(&c.pending)
+	_ = c.plainField()
+}

@@ -1,0 +1,20 @@
+// Package caller is outside serve/store: store-method and Report-codec
+// drops are still policed (durability does not care who the caller is),
+// but its own json/os usage is not.
+package caller
+
+import (
+	"encoding/json"
+	"errdrop/store"
+	"io"
+)
+
+func drop(s *store.Store, key string) {
+	s.Put(key, nil) // want `error result of Store\.Put is discarded`
+}
+
+// ownIO is not policed here: json errors outside the serving layers are
+// the caller's own business.
+func ownIO(w io.Writer, v any) {
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,50 @@
+// Package serve mirrors the serving layer: response encoding and store
+// calls whose errors vanish are exactly the incident class (a SaveMeta
+// drop lost the counter snapshot; an Encode drop sent a truncated
+// response body with a 200 status).
+package serve
+
+import (
+	"encoding/json"
+	"errdrop/shelfsim"
+	"errdrop/store"
+	"io"
+)
+
+type server struct {
+	st *store.Store
+}
+
+func (s *server) persist(doc any) {
+	_ = s.st.SaveMeta(doc) // want `error result of Store\.SaveMeta is assigned to _`
+}
+
+func (s *server) respond(w io.Writer, body any) {
+	enc := json.NewEncoder(w)
+	enc.Encode(body) // want `error result of Encoder\.Encode is discarded`
+}
+
+func (s *server) parse(data []byte) shelfsim.Report {
+	rep, _ := shelfsim.DecodeReport(data) // want `error result of shelfsim\.DecodeReport is assigned to _`
+	return rep
+}
+
+// handled is the clean counterpart: every error is bound and inspected.
+func (s *server) handled(w io.Writer, data []byte, body any) error {
+	if err := s.st.Put("k", data); err != nil {
+		return err
+	}
+	rep, err := shelfsim.DecodeReport(data)
+	if err != nil {
+		return err
+	}
+	_ = rep
+	return json.NewEncoder(w).Encode(body)
+}
+
+// auditedEncode is the escape hatch for the one place an encode error
+// has nowhere to go: the response writer is already committed.
+func (s *server) auditedEncode(w io.Writer, body any) {
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body) //shelfvet:ignore errdrop — headers already sent; the client sees the truncated body
+}

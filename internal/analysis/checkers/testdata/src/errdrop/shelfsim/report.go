@@ -1,0 +1,10 @@
+// Package shelfsim mirrors the root package's Report codec surface.
+package shelfsim
+
+import "context"
+
+type Request struct{ Name string }
+type Report struct{ OK bool }
+
+func RunReport(ctx context.Context, req Request) (Report, error) { return Report{OK: true}, nil }
+func DecodeReport(data []byte) (Report, error)                   { return Report{}, nil }

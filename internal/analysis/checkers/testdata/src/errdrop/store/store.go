@@ -1,0 +1,57 @@
+// Package store mirrors the persistence layer: its methods return
+// errors that mean data did not land, and its own os-level I/O is
+// policed too.
+package store
+
+import "os"
+
+type Store struct {
+	dir string
+}
+
+func Open(dir string) (*Store, error) { return &Store{dir: dir}, nil }
+
+func (s *Store) Put(key string, data []byte) error { return nil }
+func (s *Store) Get(key string) ([]byte, error)    { return nil, nil }
+func (s *Store) SaveMeta(doc any) error            { return nil }
+func (s *Store) Close() error                      { return nil }
+
+// writeAtomic is the temp/fsync/rename dance; the drops here are the
+// bug class.
+func (s *Store) writeAtomic(name string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, "tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = os.Remove(f.Name()) // want `error result of os\.Remove is assigned to _`
+		return err
+	}
+	f.Sync() // want `error result of File\.Sync is discarded`
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), name)
+}
+
+// cleanup shows the audited escape hatch: best-effort removal of a
+// stale temp file, justified in place.
+func (s *Store) cleanup(name string) {
+	_ = os.Remove(name) //shelfvet:ignore errdrop — best-effort GC of a stale temp file; the next write overwrites it
+}
+
+// deferredClose is exempt: a defer cannot propagate the error, and this
+// is the read path where Close cannot lose data.
+func (s *Store) deferredClose(name string) ([]byte, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}

@@ -1,0 +1,12 @@
+// Package other is outside the policed layers: goroutine hygiene is the
+// author's problem, not the gate's.
+package other
+
+func spin() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+func init() { spin() }

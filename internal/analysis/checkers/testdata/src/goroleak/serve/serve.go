@@ -1,0 +1,172 @@
+// Package serve mirrors the policed serving layer: goroutines here must
+// have a provable exit path. Each flagged case is a leak shape the
+// checker must catch; each accepted case is an idiom the real layer
+// uses.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+var (
+	jobs   = make(chan int)
+	done   = make(chan struct{})
+	mu     sync.Mutex
+	cond   = sync.NewCond(&mu)
+	wg     sync.WaitGroup
+	closed bool
+	queue  []int
+)
+
+// spinForever has no signal at all: only process exit stops it.
+func spinForever() {
+	go func() { // want `goroutine has no provable exit path`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// pollLoop looks busy but nothing can tell it to stop.
+func pollLoop() {
+	go func() { // want `goroutine has no provable exit path`
+		for {
+			if len(queue) > 0 {
+				queue = queue[1:]
+			}
+		}
+	}()
+}
+
+// externalSpawn hands an unseeable body to go: the checker cannot prove
+// anything about it.
+func externalSpawn(ctx context.Context) {
+	go context.Cause(ctx) // want `goroutine spawns a function declared outside this package`
+}
+
+// receiveDriven exits when jobs is closed-drained via the done channel.
+func receiveDriven() {
+	go func() {
+		for {
+			select {
+			case j := <-jobs:
+				queue = append(queue, j)
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// rangeOverChannel exits when the channel is closed.
+func rangeOverChannel() {
+	go func() {
+		for j := range jobs {
+			queue = append(queue, j)
+		}
+	}()
+}
+
+// ctxDriven exits on context cancellation.
+func ctxDriven(ctx context.Context) {
+	go func() {
+		for {
+			<-ctx.Done()
+			return
+		}
+	}()
+}
+
+// condDriven is the shard-owner protocol: Wait wakes on Broadcast and
+// re-checks the closed flag.
+func condDriven() {
+	go func() {
+		for {
+			mu.Lock()
+			for len(queue) == 0 && !closed {
+				cond.Wait()
+			}
+			if closed {
+				mu.Unlock()
+				return
+			}
+			queue = queue[1:]
+			mu.Unlock()
+		}
+	}()
+}
+
+// wgRegistered loops over a bounded index and is joined via the group.
+func wgRegistered(idx []int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range idx {
+			queue = append(queue, 0)
+		}
+	}()
+}
+
+// wgJoiner blocks on the group then signals completion: the closer
+// goroutine from the stream layer.
+func wgJoiner() {
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+}
+
+// boundedWork has no loop: it runs off the end.
+func boundedWork() {
+	go func() {
+		queue = append(queue, 1)
+	}()
+}
+
+// localSpawn spawns a same-package function; the checker follows the
+// declaration and accepts its select loop.
+func localSpawn() {
+	go pump()
+}
+
+func pump() {
+	for {
+		select {
+		case j := <-jobs:
+			queue = append(queue, j)
+		case <-done:
+			return
+		}
+	}
+}
+
+// localLeakySpawn follows the declaration and still flags it.
+func localLeakySpawn() {
+	go leakyPump() // want `goroutine has no provable exit path`
+}
+
+func leakyPump() {
+	for {
+		if closed {
+			// A flag check is not a signal: nothing wakes this loop.
+			continue
+		}
+	}
+}
+
+func init() {
+	spinForever()
+	pollLoop()
+	externalSpawn(context.Background())
+	receiveDriven()
+	rangeOverChannel()
+	ctxDriven(context.Background())
+	condDriven()
+	wgRegistered(nil)
+	wgJoiner()
+	boundedWork()
+	localSpawn()
+	localLeakySpawn()
+}

@@ -1,0 +1,127 @@
+// Package clean holds correct locking patterns the checker must accept:
+// every idiom the simulator's serve/store/runner layers actually use.
+package clean
+
+import "sync"
+
+var mu sync.Mutex
+var rw sync.RWMutex
+var cond = sync.NewCond(&mu)
+var closed bool
+var queue []int
+
+// balanced is the straight-line pair.
+func balanced() {
+	mu.Lock()
+	queue = append(queue, 1)
+	mu.Unlock()
+}
+
+// deferred covers every exit, including early returns and panics.
+func deferred(fail bool) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if fail {
+		return 0
+	}
+	if len(queue) == 0 {
+		panic("invariant: empty queue")
+	}
+	return queue[0]
+}
+
+// bothBranchesRelease unlocks explicitly on each path.
+func bothBranchesRelease(hit bool) {
+	mu.Lock()
+	if hit {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+// shardLoop is the shard-owner inbox pattern: acquire at the top of an
+// unconditional loop, Wait in a condition loop with the lock held,
+// release on both the shutdown path and the dispatch path.
+func shardLoop() {
+	for {
+		mu.Lock()
+		for len(queue) == 0 && !closed {
+			cond.Wait()
+		}
+		if closed {
+			mu.Unlock()
+			return
+		}
+		job := queue[0]
+		queue = queue[1:]
+		mu.Unlock()
+		_ = job
+	}
+}
+
+// readPath uses the RWMutex read side, balanced.
+func readPath() int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return len(queue)
+}
+
+// mixedModes holds the read and write sides in sequence; the modes are
+// distinct locks to the checker.
+func mixedModes() {
+	rw.RLock()
+	n := len(queue)
+	rw.RUnlock()
+	if n == 0 {
+		rw.Lock()
+		queue = append(queue, 0)
+		rw.Unlock()
+	}
+}
+
+// closureRelease defers a cleanup closure that unlocks; the closure runs
+// on every exit, so it protects the panic path too.
+func closureRelease(bad bool) {
+	mu.Lock()
+	defer func() {
+		closed = true
+		mu.Unlock()
+	}()
+	if bad {
+		panic("invariant")
+	}
+}
+
+// viaLocker accepts the sync.Locker interface; discipline applies
+// through it unchanged.
+func viaLocker(l sync.Locker) {
+	l.Lock()
+	defer l.Unlock()
+	queue = nil
+}
+
+// reacquire releases before taking the lock a second time — not a
+// double lock.
+func reacquire() {
+	mu.Lock()
+	n := len(queue)
+	mu.Unlock()
+	if n > 0 {
+		mu.Lock()
+		queue = queue[:0]
+		mu.Unlock()
+	}
+}
+
+func init() {
+	balanced()
+	_ = deferred(true)
+	bothBranchesRelease(true)
+	go shardLoop()
+	_ = readPath()
+	mixedModes()
+	closureRelease(false)
+	viaLocker(&mu)
+	reacquire()
+}

@@ -1,0 +1,110 @@
+// Package flagged holds lock-discipline violations the checker must
+// catch: every bug class from the flow-sensitive analysis.
+package flagged
+
+import "sync"
+
+var mu sync.Mutex
+var rw sync.RWMutex
+var cond = sync.NewCond(&mu)
+var ready bool
+var queue []int
+
+// earlyReturnLeak is the classic: an error path returns with the lock
+// still held.
+func earlyReturnLeak(fail bool) {
+	mu.Lock() // want `mu is locked here but not released on every path out of earlyReturnLeak`
+	if fail {
+		return
+	}
+	mu.Unlock()
+}
+
+// panicLeak releases on the normal path but panics under the lock.
+func panicLeak(bad bool) {
+	mu.Lock() // want `mu is still held when panicLeak panics`
+	if bad {
+		panic("invariant violated")
+	}
+	mu.Unlock()
+}
+
+// doubleLock self-deadlocks: sync.Mutex is not reentrant.
+func doubleLock() {
+	mu.Lock()
+	mu.Lock() // want `mu is locked again while already held`
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// waitWithoutLock calls Wait with no mutex held; Wait would fault
+// unlocking an unlocked mutex.
+func waitWithoutLock() {
+	for !ready {
+		cond.Wait() // want `cond.Wait\(\) without its mutex held`
+	}
+}
+
+// waitOutsideLoop re-checks nothing: a spurious wakeup or a Broadcast
+// for a different condition slips straight through.
+func waitOutsideLoop() {
+	mu.Lock()
+	if !ready {
+		cond.Wait() // want `cond.Wait\(\) outside a loop`
+	}
+	mu.Unlock()
+}
+
+// readLockLeak leaks the read side of an RWMutex on one branch.
+func readLockLeak(miss bool) {
+	rw.RLock() // want `rw\(r\) is locked here but not released on every path out of readLockLeak`
+	if miss {
+		return
+	}
+	rw.RUnlock()
+}
+
+// switchLeak leaks through a switch case with no release.
+func switchLeak(kind int) {
+	mu.Lock() // want `mu is locked here but not released on every path out of switchLeak`
+	switch kind {
+	case 0:
+		mu.Unlock()
+	case 1:
+		return
+	default:
+		mu.Unlock()
+	}
+}
+
+// goroutineUnlockDoesNotCount: a release inside a spawned goroutine is a
+// different function's action and does not balance this function's Lock.
+func goroutineUnlockDoesNotCount() {
+	mu.Lock() // want `mu is locked here but not released on every path out of goroutineUnlockDoesNotCount`
+	go func() {
+		mu.Unlock()
+	}()
+}
+
+// audited shows the escape hatch: the ignore must suppress the leak and
+// count as used (no unusedignore diagnostic may appear here).
+func audited(fail bool) {
+	mu.Lock() //shelfvet:ignore lockdiscipline — release is the caller's documented obligation
+	if fail {
+		return
+	}
+	mu.Unlock()
+}
+
+func init() {
+	_ = queue
+	earlyReturnLeak(false)
+	panicLeak(false)
+	doubleLock()
+	waitWithoutLock()
+	waitOutsideLoop()
+	readLockLeak(false)
+	switchLeak(0)
+	goroutineUnlockDoesNotCount()
+	audited(false)
+}

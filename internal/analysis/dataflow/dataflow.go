@@ -1,0 +1,269 @@
+// Package dataflow is a generic forward-dataflow engine over
+// internal/analysis/cfg graphs: a worklist solver parameterized by a
+// client-supplied lattice (Join / Transfer / Equal), plus the may/must
+// lock-set abstraction the lockdiscipline checker instantiates it with.
+// Stdlib-only, like the rest of the analysis framework.
+//
+// The solver is optimistic: facts start undefined, the entry block seeds
+// the boundary fact, and blocks join only over predecessors whose OUT
+// fact has been computed. For a monotone transfer over a finite lattice
+// the iteration reaches the least fixed point; clients whose facts are
+// finite sets over identifiers occurring in one function (the lock-set)
+// terminate in a handful of passes.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"shelfsim/internal/analysis/cfg"
+)
+
+// Analysis is one forward dataflow problem over facts of type F.
+type Analysis[F any] interface {
+	// Entry is the boundary fact at the function's entry block.
+	Entry() F
+	// Transfer flows a fact through one block's nodes in order.
+	Transfer(b *cfg.Block, in F) F
+	// Join merges facts at a control-flow merge. It must be commutative,
+	// associative and monotone.
+	Join(a, b F) F
+	// Equal reports fact equality; the solver iterates until every
+	// block's OUT fact stops changing.
+	Equal(a, b F) bool
+}
+
+// Result holds the fixed-point IN and OUT facts per block. Blocks never
+// reached (dead code, or unreachable exits) are absent from the maps.
+type Result[F any] struct {
+	In, Out map[*cfg.Block]F
+}
+
+// Forward solves a forward dataflow problem to its fixed point with a
+// worklist over the graph's live blocks.
+func Forward[F any](g *cfg.Graph, a Analysis[F]) *Result[F] {
+	res := &Result[F]{
+		In:  make(map[*cfg.Block]F, len(g.Blocks)),
+		Out: make(map[*cfg.Block]F, len(g.Blocks)),
+	}
+	// Seed: entry gets the boundary fact.
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		var in F
+		if b == g.Entry {
+			in = a.Entry()
+		} else {
+			first := true
+			for _, p := range b.Preds {
+				out, ok := res.Out[p]
+				if !ok {
+					continue // predecessor not yet computed: optimistic skip
+				}
+				if first {
+					in = out
+					first = false
+				} else {
+					in = a.Join(in, out)
+				}
+			}
+			if first {
+				continue // no computed predecessor yet; a later visit requeues us
+			}
+		}
+		res.In[b] = in
+		out := a.Transfer(b, in)
+		if prev, ok := res.Out[b]; ok && a.Equal(prev, out) {
+			continue
+		}
+		res.Out[b] = out
+		for _, s := range b.Succs {
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------
+// Lock-set abstraction
+// ---------------------------------------------------------------------
+
+// LockOp classifies one lock-relevant operation inside a block.
+type LockOp int
+
+const (
+	// OpAcquire is mu.Lock() / mu.RLock().
+	OpAcquire LockOp = iota
+	// OpRelease is mu.Unlock() / mu.RUnlock().
+	OpRelease
+	// OpDeferRelease is `defer mu.Unlock()` (directly or inside a
+	// deferred closure): the release runs on every path out of the
+	// function, normal or panicking.
+	OpDeferRelease
+	// OpWait is cond.Wait(): it atomically releases and reacquires the
+	// associated mutex, so the held set is unchanged across it, but the
+	// checker wants the solved fact at the call site.
+	OpWait
+)
+
+// LockEvent is one classified operation on a named lock.
+type LockEvent struct {
+	Op LockOp
+	// ID identifies the lock within the function (receiver chain plus
+	// acquisition mode, e.g. "s.mu" vs "s.mu(r)" for RLock).
+	ID  string
+	Pos token.Pos
+}
+
+// LockFact is the may/must lock-set at a program point:
+//
+//   - Must: locks held on every path reaching the point — what a
+//     cond.Wait or a nested Lock can rely on;
+//   - May: locks held on at least one path — what a return statement is
+//     about to leak;
+//   - Unprotected: locks held on some path without a deferred release
+//     registered on that same path. This is the set that matters at the
+//     exits: Must/May alone cannot express "the only paths still holding
+//     the lock are the ones that deferred its release", because must-
+//     deferred intersects away on paths that never locked at all.
+type LockFact struct {
+	Must, May, Unprotected map[string]bool
+}
+
+// LockAnalysis solves the lock-set problem given a per-node event
+// classifier (supplied by the checker, which owns the type information).
+type LockAnalysis struct {
+	// Events returns the lock operations performed by one block node, in
+	// execution order.
+	Events func(n ast.Node) []LockEvent
+}
+
+// Entry implements Analysis: no locks held at function entry.
+func (a LockAnalysis) Entry() LockFact {
+	return LockFact{Must: map[string]bool{}, May: map[string]bool{}, Unprotected: map[string]bool{}}
+}
+
+// Transfer implements Analysis.
+func (a LockAnalysis) Transfer(b *cfg.Block, in LockFact) LockFact {
+	out := cloneFact(in)
+	for _, n := range b.Nodes {
+		for _, ev := range a.Events(n) {
+			applyEvent(&out, ev)
+		}
+	}
+	return out
+}
+
+func applyEvent(f *LockFact, ev LockEvent) {
+	switch ev.Op {
+	case OpAcquire:
+		f.Must[ev.ID] = true
+		f.May[ev.ID] = true
+		f.Unprotected[ev.ID] = true
+	case OpRelease:
+		delete(f.Must, ev.ID)
+		delete(f.May, ev.ID)
+		delete(f.Unprotected, ev.ID)
+	case OpDeferRelease:
+		// The lock will be released on every exit from here on; it is no
+		// longer leakable, though it remains held.
+		delete(f.Unprotected, ev.ID)
+	case OpWait:
+		// Release-and-reacquire: net held set unchanged.
+	}
+}
+
+// Join implements Analysis: must intersects, may and unprotected union.
+func (a LockAnalysis) Join(x, y LockFact) LockFact {
+	out := LockFact{
+		Must:        intersect(x.Must, y.Must),
+		May:         union(x.May, y.May),
+		Unprotected: union(x.Unprotected, y.Unprotected),
+	}
+	return out
+}
+
+// Equal implements Analysis.
+func (a LockAnalysis) Equal(x, y LockFact) bool {
+	return setEqual(x.Must, y.Must) && setEqual(x.May, y.May) && setEqual(x.Unprotected, y.Unprotected)
+}
+
+// FactBefore replays b's transfer from its IN fact up to (but not
+// including) node, yielding the fact the checker needs at an interior
+// program point — e.g. the must-held set at a cond.Wait call.
+func (a LockAnalysis) FactBefore(res *Result[LockFact], b *cfg.Block, node ast.Node) (LockFact, bool) {
+	in, ok := res.In[b]
+	if !ok {
+		return LockFact{}, false
+	}
+	f := cloneFact(in)
+	for _, n := range b.Nodes {
+		if n == node {
+			return f, true
+		}
+		for _, ev := range a.Events(n) {
+			applyEvent(&f, ev)
+		}
+	}
+	return f, false
+}
+
+func cloneFact(f LockFact) LockFact {
+	return LockFact{Must: cloneSet(f.Must), May: cloneSet(f.May), Unprotected: cloneSet(f.Unprotected)}
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	out := cloneSet(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func setEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys returns a set's members sorted, for deterministic diagnostics.
+func Keys(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

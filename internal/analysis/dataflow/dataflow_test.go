@@ -1,0 +1,273 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"shelfsim/internal/analysis/cfg"
+)
+
+// syntacticEvents classifies calls by bare function name so the solver
+// can be tested without type information: lock()/rlock() acquire,
+// unlock()/runlock() release, wait() is a cond-wait, and a deferred
+// unlock is a deferred release. Receiver-qualified forms (mu.Lock) are
+// classified by method name the same way.
+func syntacticEvents(n ast.Node) []LockEvent {
+	var evs []LockEvent
+	classify := func(call *ast.CallExpr, deferred bool) {
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		id := "mu"
+		op := LockOp(-1)
+		switch name {
+		case "lock", "Lock":
+			op = OpAcquire
+		case "rlock", "RLock":
+			op, id = OpAcquire, "mu(r)"
+		case "unlock", "Unlock":
+			op = OpRelease
+		case "runlock", "RUnlock":
+			op, id = OpRelease, "mu(r)"
+		case "wait", "Wait":
+			op = OpWait
+		default:
+			return
+		}
+		if deferred && op == OpRelease {
+			op = OpDeferRelease
+		}
+		evs = append(evs, LockEvent{Op: op, ID: id, Pos: call.Pos()})
+	}
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		classify(s.Call, true)
+	default:
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, isDefer := x.(*ast.DeferStmt); isDefer {
+				classify(x.(*ast.DeferStmt).Call, true)
+				return false
+			}
+			if call, ok := x.(*ast.CallExpr); ok {
+				classify(call, false)
+			}
+			return true
+		})
+	}
+	return evs
+}
+
+// solve parses a function body, builds its CFG and solves the lock-set
+// problem, returning the graph, the analysis and the result.
+func solve(t *testing.T, body string) (*cfg.Graph, LockAnalysis, *Result[LockFact]) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	g := cfg.New(fd.Body)
+	if err := g.Check(); err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	a := LockAnalysis{Events: syntacticEvents}
+	return g, a, Forward[LockFact](g, a)
+}
+
+func exitFact(t *testing.T, g *cfg.Graph, res *Result[LockFact]) LockFact {
+	t.Helper()
+	f, ok := res.In[g.Exit]
+	if !ok {
+		t.Fatal("no fact at exit (exit unreachable?)")
+	}
+	return f
+}
+
+func TestBalancedPair(t *testing.T) {
+	g, _, res := solve(t, "lock()\nwork()\nunlock()")
+	f := exitFact(t, g, res)
+	if len(f.May) != 0 || len(f.Unprotected) != 0 {
+		t.Fatalf("balanced pair leaks: may=%v unprotected=%v", Keys(f.May), Keys(f.Unprotected))
+	}
+}
+
+func TestDeferCoversAllExits(t *testing.T) {
+	g, _, res := solve(t, `
+lock()
+defer unlock()
+if c {
+	return
+}
+work()`)
+	f := exitFact(t, g, res)
+	if len(f.Unprotected) != 0 {
+		t.Fatalf("deferred unlock still unprotected: %v", Keys(f.Unprotected))
+	}
+	if !f.Must["mu"] {
+		t.Fatal("mu should be must-held at exit (released only by the defer)")
+	}
+}
+
+func TestEarlyReturnLeak(t *testing.T) {
+	g, _, res := solve(t, `
+lock()
+if c {
+	return
+}
+unlock()`)
+	f := exitFact(t, g, res)
+	if !f.Unprotected["mu"] {
+		t.Fatal("early return while holding mu must surface in Unprotected at exit")
+	}
+	if f.Must["mu"] {
+		t.Fatal("mu is not held on every path to exit")
+	}
+}
+
+func TestBranchBothUnlock(t *testing.T) {
+	g, _, res := solve(t, `
+lock()
+if c {
+	unlock()
+	return
+}
+unlock()`)
+	f := exitFact(t, g, res)
+	if len(f.May) != 0 {
+		t.Fatalf("both paths unlock; may=%v", Keys(f.May))
+	}
+}
+
+func TestPanicPathLeak(t *testing.T) {
+	g, _, res := solve(t, `
+lock()
+if bad {
+	panic("invariant")
+}
+unlock()`)
+	f, ok := res.In[g.Panic]
+	if !ok {
+		t.Fatal("no fact at panic exit")
+	}
+	if !f.Unprotected["mu"] {
+		t.Fatal("explicit panic under lock must be unprotected at the panic exit")
+	}
+	// The normal exit is clean.
+	if nf := exitFact(t, g, res); len(nf.Unprotected) != 0 {
+		t.Fatalf("normal exit unexpectedly leaks: %v", Keys(nf.Unprotected))
+	}
+}
+
+func TestDeferProtectsPanicPath(t *testing.T) {
+	g, _, res := solve(t, `
+lock()
+defer unlock()
+if bad {
+	panic("invariant")
+}`)
+	f, ok := res.In[g.Panic]
+	if !ok {
+		t.Fatal("no fact at panic exit")
+	}
+	if len(f.Unprotected) != 0 {
+		t.Fatalf("deferred unlock must cover the panic path: %v", Keys(f.Unprotected))
+	}
+}
+
+// TestLoopReacquire mirrors the shard-owner loop: acquire at the top of
+// an unconditional loop, release on both the return path and the
+// back-edge path. Nothing may leak, and the loop head must not
+// accumulate a may-held set across iterations.
+func TestLoopReacquire(t *testing.T) {
+	g, _, res := solve(t, `
+for {
+	lock()
+	for empty {
+		wait()
+	}
+	if closed {
+		unlock()
+		return
+	}
+	unlock()
+	execute()
+}`)
+	f := exitFact(t, g, res)
+	if len(f.May) != 0 || len(f.Unprotected) != 0 {
+		t.Fatalf("shard loop leaks: may=%v unprotected=%v", Keys(f.May), Keys(f.Unprotected))
+	}
+}
+
+func TestRWLockModesAreDistinct(t *testing.T) {
+	g, _, res := solve(t, `
+rlock()
+runlock()
+lock()`)
+	f := exitFact(t, g, res)
+	if f.May["mu(r)"] {
+		t.Fatal("read lock released but still may-held")
+	}
+	if !f.Unprotected["mu"] {
+		t.Fatal("write lock leaked at exit but not unprotected")
+	}
+}
+
+func TestFactBefore(t *testing.T) {
+	g, a, res := solve(t, `
+lock()
+wait()
+unlock()`)
+	// Find the wait() node and check mu is must-held right before it.
+	var waitNode ast.Node
+	var waitBlock *cfg.Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "wait" {
+					waitNode, waitBlock = n, b
+				}
+			}
+		}
+	}
+	if waitNode == nil {
+		t.Fatal("wait node not found in graph")
+	}
+	f, ok := a.FactBefore(res, waitBlock, waitNode)
+	if !ok {
+		t.Fatal("FactBefore failed to locate the node")
+	}
+	if !f.Must["mu"] {
+		t.Fatal("mu must be held immediately before wait()")
+	}
+}
+
+// TestSolverConvergesOnDiamond checks the join actually intersects must
+// and unions may across a diamond.
+func TestSolverConvergesOnDiamond(t *testing.T) {
+	g, _, res := solve(t, `
+if c {
+	lock()
+} else {
+	work()
+}
+tail()`)
+	f := exitFact(t, g, res)
+	if f.Must["mu"] {
+		t.Fatal("mu held on only one branch must not be must-held at the join")
+	}
+	if !f.May["mu"] {
+		t.Fatal("mu held on one branch must be may-held at the join")
+	}
+}

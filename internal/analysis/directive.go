@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses diagnostics:
+// `//shelfvet:ignore name1,name2` (or bare `//shelfvet:ignore` for all
+// analyzers) on the same line as, or the line directly above, the flagged
+// position. A justification may follow the names after an em-dash. Use it
+// only for individually audited sites; CI has no warn-only mode.
+//
+// A directive that suppresses nothing is itself a diagnostic (analyzer
+// name "unusedignore"): stale ignores silently mask regressions, so the
+// gate fails on them the same way it fails on real findings.
+const ignoreDirective = "//shelfvet:ignore"
+
+// UnusedIgnoreName is the pseudo-analyzer that unused-directive
+// diagnostics are attributed to. It is not suppressible — an ignore
+// cannot vouch for another ignore.
+const UnusedIgnoreName = "unusedignore"
+
+// Directive is one parsed //shelfvet:ignore comment.
+type Directive struct {
+	// Pos is the comment's position, where unused-directive diagnostics
+	// anchor.
+	Pos token.Pos
+	// File and Line locate the directive; it covers its own line and the
+	// next, so it works both as a trailing comment and on a line of its
+	// own.
+	File string
+	Line int
+	// Names holds the analyzer names the directive suppresses; the empty
+	// name means all analyzers.
+	Names map[string]bool
+
+	used bool
+}
+
+// ParseDirectives extracts every //shelfvet:ignore directive from the
+// files' comments. The name list ends at an em-dash justification
+// ("//shelfvet:ignore hotalloc — audited growth path") or at a trailing
+// comment ("//shelfvet:ignore maprange // want ..."), whichever comes
+// first.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) []*Directive {
+	var out []*Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				// Trailing justification or comment: everything after an
+				// em-dash or a nested `//` is prose, not analyzer names.
+				if i := strings.Index(rest, "—"); i >= 0 {
+					rest = rest[:i]
+				}
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				rest = strings.TrimSpace(rest)
+				names := map[string]bool{}
+				if rest == "" {
+					names[""] = true
+				}
+				for _, n := range strings.Split(rest, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names[n] = true
+					}
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &Directive{
+					Pos:   c.Pos(),
+					File:  pos.Filename,
+					Line:  pos.Line,
+					Names: names,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether d covers a diagnostic from the named
+// analyzer at file:line.
+func (d *Directive) suppresses(file string, line int, analyzer string) bool {
+	if file != d.File || (line != d.Line && line != d.Line+1) {
+		return false
+	}
+	return d.Names[""] || d.Names[analyzer]
+}
+
+// applicable reports whether d could ever suppress a diagnostic from the
+// given analyzer set: bare directives always can, named ones only when a
+// named analyzer is actually running. Unused-directive auditing only
+// judges applicable directives, so a fixture exercising one analyzer
+// does not flag ignores aimed at another.
+func (d *Directive) applicable(running map[string]bool) bool {
+	if d.Names[""] {
+		return true
+	}
+	for n := range d.Names {
+		if running[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// nameList renders the directive's names for diagnostics.
+func (d *Directive) nameList() string {
+	if d.Names[""] {
+		return "any analyzer"
+	}
+	names := make([]string, 0, len(d.Names))
+	for n := range d.Names {
+		names = append(names, n)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	// Deterministic order for multi-name directives.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}

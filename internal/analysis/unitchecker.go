@@ -4,11 +4,14 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"go/ast"
 	"go/token"
 	"io"
 	"os"
 	"runtime"
 	"strings"
+
+	"shelfsim/internal/analysis/cfg"
 )
 
 // unitConfig mirrors the JSON configuration file the go command hands a
@@ -41,10 +44,13 @@ type unitConfig struct {
 //	shelfvet -flags           print supported analyzer flags as JSON (none)
 //	shelfvet <file>.cfg       vet one package (go vet -vettool protocol)
 //	shelfvet [dir] patterns   standalone: go-list, type-check and vet patterns
+//	shelfvet -json patterns   standalone, diagnostics as JSON on stdout
+//	shelfvet -selfcheck pats  build + verify a CFG for every function
 //
 // It returns the process exit code: 0 clean, 1 tool failure, 2 diagnostics.
 func Main(analyzers []*Analyzer, args []string) int {
 	var operands []string
+	jsonOut, selfcheck := false, false
 	for _, a := range args {
 		switch {
 		case a == "-V=full" || a == "--V=full":
@@ -54,6 +60,10 @@ func Main(analyzers []*Analyzer, args []string) int {
 			// No analyzer flags: the gate is all-on, no warn-only mode.
 			fmt.Println("[]")
 			return 0
+		case a == "-json" || a == "--json":
+			jsonOut = true
+		case a == "-selfcheck" || a == "--selfcheck":
+			selfcheck = true
 		case strings.HasPrefix(a, "-"):
 			// Tolerate unknown flags so minor go-command protocol drift
 			// degrades to a no-op instead of failing every vet run.
@@ -66,10 +76,13 @@ func Main(analyzers []*Analyzer, args []string) int {
 		return unitCheck(operands[0], analyzers)
 	}
 	if len(operands) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: shelfvet [-V=full|-flags] <unit.cfg> | <package patterns>")
+		fmt.Fprintln(os.Stderr, "usage: shelfvet [-V=full|-flags|-json|-selfcheck] <unit.cfg> | <package patterns>")
 		return 1
 	}
-	return standalone(operands, analyzers)
+	if selfcheck {
+		return selfCheck(operands)
+	}
+	return standalone(operands, analyzers, jsonOut)
 }
 
 // printVersion emits the `-V=full` line the go command hashes into its
@@ -151,13 +164,27 @@ func typecheckFailure(cfg *unitConfig, err error) int {
 }
 
 // standalone loads the patterns itself and vets them: the quick local
-// invocation (`shelfvet ./...`) that needs no go-vet driver.
-func standalone(patterns []string, analyzers []*Analyzer) int {
+// invocation (`shelfvet ./...`) that needs no go-vet driver. With
+// jsonOut, diagnostics go to stdout as one JSON document (the CI
+// artifact shape); the exit code is unchanged, so a gate can both
+// archive the report and fail on findings.
+func standalone(patterns []string, analyzers []*Analyzer, jsonOut bool) int {
 	pkgs, err := Load(".", patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shelfvet: %v\n", err)
 		return 1
 	}
+	type jsonDiagnostic struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	report := struct {
+		Count       int              `json:"count"`
+		Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	}{Diagnostics: []jsonDiagnostic{}}
 	exit := 0
 	for _, p := range pkgs {
 		diags, err := RunAnalyzers(analyzers, p.Fset, p.Files, p.Pkg, p.Info)
@@ -166,9 +193,85 @@ func standalone(patterns []string, analyzers []*Analyzer) int {
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Fprintln(os.Stderr, FormatDiagnostic(p.Fset, d))
 			exit = 2
+			if jsonOut {
+				pos := p.Fset.Position(d.Pos)
+				report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+				continue
+			}
+			fmt.Fprintln(os.Stderr, FormatDiagnostic(p.Fset, d))
 		}
 	}
+	if jsonOut {
+		report.Count = len(report.Diagnostics)
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shelfvet: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+	}
 	return exit
+}
+
+// selfCheck builds and structurally verifies a control-flow graph for
+// every function and function literal in the loaded packages: the
+// totality guarantee behind the flow-sensitive checkers, run against the
+// real module instead of fixtures. A panic inside the builder is caught
+// and attributed to the function that provoked it.
+func selfCheck(patterns []string) int {
+	pkgs, err := Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shelfvet: %v\n", err)
+		return 1
+	}
+	funcs, failures := 0, 0
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					body = n.Body
+				case *ast.FuncLit:
+					body = n.Body
+				default:
+					return true
+				}
+				if body == nil {
+					return true
+				}
+				funcs++
+				if err := buildAndCheckCFG(body); err != nil {
+					failures++
+					fmt.Fprintf(os.Stderr, "shelfvet: selfcheck: %s: %v\n",
+						p.Fset.Position(n.Pos()), err)
+				}
+				return true
+			})
+		}
+	}
+	fmt.Printf("shelfvet selfcheck: %d functions across %d packages, %d failures\n",
+		funcs, len(pkgs), failures)
+	if failures > 0 {
+		return 2
+	}
+	return 0
+}
+
+// buildAndCheckCFG builds one function's CFG, converting builder panics
+// into errors so one bad function does not abort the sweep.
+func buildAndCheckCFG(body *ast.BlockStmt) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cfg builder panicked: %v", r)
+		}
+	}()
+	return cfg.New(body).Check()
 }

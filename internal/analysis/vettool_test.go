@@ -97,6 +97,61 @@ func (c *Config) Fingerprint() string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 `,
+		// The flow-sensitive bug classes: an unpaired Lock, a plain read
+		// of an atomically-written field, a goroutine with no exit path,
+		// and a dropped store error.
+		"internal/store/store.go": `package store
+
+type Store struct{}
+
+func (s *Store) SaveMeta(doc any) error { return nil }
+`,
+		"internal/serve/serve.go": `package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"scratchsim/internal/store"
+)
+
+type Shard struct {
+	mu    sync.Mutex
+	queue []int
+	gate  int64
+}
+
+func (s *Shard) Pop() int {
+	s.mu.Lock()
+	if len(s.queue) == 0 {
+		return -1
+	}
+	v := s.queue[0]
+	s.queue = s.queue[1:]
+	s.mu.Unlock()
+	return v
+}
+
+func (s *Shard) Arm() {
+	atomic.StoreInt64(&s.gate, 1)
+}
+
+func (s *Shard) Armed() bool {
+	return s.gate == 1
+}
+
+func (s *Shard) Own() {
+	go func() {
+		for {
+			s.Pop()
+		}
+	}()
+}
+
+func (s *Shard) Persist(st *store.Store) {
+	_ = st.SaveMeta(len(s.queue))
+}
+`,
 	})
 
 	out, failed := runVet(t, shelfvet, mod)
@@ -107,6 +162,10 @@ func (c *Config) Fingerprint() string {
 		"package-level variable stallCount",
 		"panic argument has type string",
 		"config field Shelf is not hashed by Fingerprint",
+		"not released on every path",
+		"accessed with sync/atomic",
+		"no provable exit path",
+		"SaveMeta is assigned to _",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("vet output missing %q:\n%s", want, out)
@@ -159,6 +218,67 @@ func (c *Config) Fingerprint() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d %d", c.Threads, c.Shelf)
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+`,
+		// The repaired flow-sensitive shapes: deferred unlock, typed
+		// atomics used through their API, a done-channel goroutine, and a
+		// propagated store error.
+		"internal/store/store.go": `package store
+
+type Store struct{}
+
+func (s *Store) SaveMeta(doc any) error { return nil }
+`,
+		"internal/serve/serve.go": `package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"scratchsim/internal/store"
+)
+
+type Shard struct {
+	mu    sync.Mutex
+	queue []int
+	gate  atomic.Int64
+	done  chan struct{}
+}
+
+func (s *Shard) Pop() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return -1
+	}
+	v := s.queue[0]
+	s.queue = s.queue[1:]
+	return v
+}
+
+func (s *Shard) Arm() {
+	s.gate.Store(1)
+}
+
+func (s *Shard) Armed() bool {
+	return s.gate.Load() == 1
+}
+
+func (s *Shard) Own() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			default:
+				s.Pop()
+			}
+		}
+	}()
+}
+
+func (s *Shard) Persist(st *store.Store) error {
+	return st.SaveMeta(len(s.queue))
 }
 `,
 	})

@@ -383,8 +383,9 @@ func (s *Server) Wait(ctx context.Context) error {
 // graceful stop; jobs still queued at Close are abandoned unexecuted and
 // their waiters receive ErrAbandoned (surfaced as 503 over HTTP). With a
 // store attached, the cumulative counters are persisted for the next
-// process. Safe to call more than once.
-func (s *Server) Close() {
+// process; the returned error reports a failed persist (the server is
+// stopped either way). Safe to call more than once.
+func (s *Server) Close() error {
 	s.BeginDrain()
 	s.closeOnce.Do(func() {
 		for _, sh := range s.shards {
@@ -393,8 +394,11 @@ func (s *Server) Close() {
 	})
 	s.owners.Wait()
 	if s.store != nil {
-		_ = s.store.SaveMeta(metaDoc{Counters: s.counters.snapshot()})
+		if err := s.store.SaveMeta(metaDoc{Counters: s.counters.snapshot()}); err != nil {
+			return fmt.Errorf("serve: persisting counters on close: %w", err)
+		}
 	}
+	return nil
 }
 
 // Counters returns a snapshot of the service's cumulative accounting.
@@ -415,7 +419,7 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(body)
+	_ = enc.Encode(body) //shelfvet:ignore errdrop — status and headers are already on the wire; the client detects the truncated body
 }
 
 // errorBody maps an error to its wire envelope, extracting the typed field

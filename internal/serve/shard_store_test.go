@@ -359,7 +359,7 @@ func TestStoreRestartDifferential(t *testing.T) {
 // duplicate submitters hammer the dedup map. Run under -race in CI.
 func TestShardOrderingUnderRace(t *testing.T) {
 	s := New(Options{Shards: 1, QueueDepth: 32})
-	t.Cleanup(s.Close)
+	t.Cleanup(func() { s.Close() })
 
 	var mu sync.Mutex
 	var executed []string

@@ -12,13 +12,34 @@ go vet ./...
 # Project-specific invariants gate. shelfvet is this repo's go/analysis
 # multichecker (see cmd/shelfvet); any diagnostic fails CI — there is no
 # warn-only mode. The binary is built into a stable path so Go's build
-# cache makes repeat runs a no-op link, and -vettool reuses go vet's own
-# package loading (the blanket ./... pattern replaces the old per-package
-# `go vet ./internal/obs/...` invocation).
+# cache makes repeat runs a no-op link.
 SHELFVET="${SHELFVET:-/tmp/shelfsim-tools/shelfvet}"
 mkdir -p "$(dirname "$SHELFVET")"
 go build -o "$SHELFVET" ./cmd/shelfvet
-go vet -vettool="$SHELFVET" ./...
+
+# The vettool runs over the explicit `go list ./...` package list, never a
+# hand-maintained one: a stale list once let cmd/shelfload escape the gate.
+# The assertions pin packages that historically fell out of coverage; if
+# one is ever missing the list itself is broken, not the package.
+PKGLIST="$(go list ./...)"
+for must in shelfsim/cmd/shelfload shelfsim/internal/store shelfsim/internal/litmus \
+    shelfsim/internal/serve shelfsim/internal/runner shelfsim/internal/core; do
+    echo "$PKGLIST" | grep -qx "$must" || { echo "vet coverage lost $must"; exit 1; }
+done
+# shellcheck disable=SC2086 # the package list is meant to word-split
+go vet -vettool="$SHELFVET" $PKGLIST
+
+# CFG totality self-check: the flow-sensitive checkers build a CFG for
+# every function in the module; the builder must be total over real code.
+"$SHELFVET" -selfcheck ./...
+
+# Diagnostic-count artifact: SHELFVET.json records every finding (count
+# must be 0 — testdata fixture trees are outside `go list ./...` and never
+# load here). The JSON run duplicates the vet gate on purpose: the
+# artifact documents what the gate saw, and its exit code fails CI even if
+# the -vettool protocol above ever drifts into silently skipping packages.
+"$SHELFVET" -json ./... > SHELFVET.json || { cat SHELFVET.json; exit 1; }
+grep -q '"count": 0' SHELFVET.json || { cat SHELFVET.json; exit 1; }
 
 go test -race ./...
 
