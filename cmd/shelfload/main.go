@@ -11,7 +11,10 @@
 //	shelfload -addr 127.0.0.1:8080 -n 200 -conc 8 -hot 0.8 -out BENCH_serve.json
 //
 // Every pair of identical requests is also checked for result-fingerprint
-// identity (the determinism contract must survive load), and -differential
+// identity (the determinism contract must survive load). -warmup-frac
+// excludes the schedule's cold leading fraction from the latency
+// percentiles (those requests still run and count for errors, determinism
+// and hit rates), and -differential
 // re-runs one hot request in-process and requires the served fingerprint
 // to match — the restart differential when pointed at a warm store.
 // -min-store-hits and -min-store-hit-rate turn the run into a smoke gate.
@@ -37,6 +40,7 @@ import (
 type result struct {
 	insts       int64
 	hot         bool
+	warmup      bool
 	latency     time.Duration
 	fingerprint string
 	err         error
@@ -49,6 +53,10 @@ type Bench struct {
 	HotFraction float64 `json:"hot_fraction"`
 	HotSet      int     `json:"hot_set"`
 	Insts       int64   `json:"insts"`
+	// WarmupFrac is the leading fraction of the schedule excluded from the
+	// latency percentiles; Measured is the request count they cover.
+	WarmupFrac float64 `json:"warmup_frac,omitempty"`
+	Measured   int     `json:"measured"`
 
 	WallMs        float64 `json:"wall_ms"`
 	ThroughputRPS float64 `json:"throughput_rps"`
@@ -78,8 +86,9 @@ func main() {
 		out     = flag.String("out", "", "write the benchmark JSON here (default stdout only)")
 		timeout = flag.Duration("timeout", 5*time.Minute, "whole-run deadline")
 		diff    = flag.Bool("differential", false, "re-run one hot request in-process and require fingerprint identity with the served result")
-		minHits = flag.Int64("min-store-hits", -1, "fail unless the run produced at least this many store hits (-1 disables)")
-		minRate = flag.Float64("min-store-hit-rate", -1, "fail unless the store hit rate reaches this (-1 disables)")
+		minHits  = flag.Int64("min-store-hits", -1, "fail unless the run produced at least this many store hits (-1 disables)")
+		minRate  = flag.Float64("min-store-hit-rate", -1, "fail unless the store hit rate reaches this (-1 disables)")
+		warmFrac = flag.Float64("warmup-frac", 0, "exclude this leading fraction of the schedule from the latency percentiles (cold server ramp-up; the requests still count for errors and hit rates)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -87,6 +96,9 @@ func main() {
 	}
 	if *hotSet < 1 || *n < 1 || *conc < 1 {
 		log.Fatal("shelfload: -n, -conc and -hotset must be positive")
+	}
+	if *warmFrac < 0 || *warmFrac >= 1 {
+		log.Fatal("shelfload: -warmup-frac must be in [0, 1)")
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -99,9 +111,15 @@ func main() {
 	// of the cache key, so distinct windows are distinct jobs.
 	rng := rand.New(rand.NewSource(*seed))
 	type item struct {
-		req shelfsim.Request
-		hot bool
+		req    shelfsim.Request
+		hot    bool
+		warmup bool
 	}
+	// The leading -warmup-frac of the schedule is the measurement warmup:
+	// those requests run (and count for errors, determinism and hit rates)
+	// but their latencies — dominated by cold store, cold dedup table and
+	// scheduler ramp-up — stay out of the percentiles.
+	warmupCount := int(*warmFrac * float64(*n))
 	schedule := make([]item, *n)
 	for i := range schedule {
 		req := shelfsim.Request{Preset: *preset, Kernels: []string{*kernel}}
@@ -112,6 +130,7 @@ func main() {
 			req.Insts = *insts + 10_000 + int64(i)
 			schedule[i] = item{req: req, hot: false}
 		}
+		schedule[i].warmup = i < warmupCount
 	}
 
 	before, err := c.Metrics(ctx)
@@ -134,7 +153,7 @@ func main() {
 			for it := range work {
 				start := time.Now()
 				rep, err := policy.Run(ctx, c, it.req)
-				r := result{insts: it.req.Insts, hot: it.hot, latency: time.Since(start), err: err}
+				r := result{insts: it.req.Insts, hot: it.hot, warmup: it.warmup, latency: time.Since(start), err: err}
 				if err == nil {
 					r.fingerprint = rep.ResultFingerprint
 				}
@@ -174,13 +193,21 @@ func main() {
 	}
 
 	lat := make([]time.Duration, 0, len(results))
+	succeeded := 0
 	for _, r := range results {
-		if r.err == nil {
+		if r.err != nil {
+			continue
+		}
+		succeeded++
+		if !r.warmup {
 			lat = append(lat, r.latency)
 		}
 	}
-	if len(lat) == 0 {
+	if succeeded == 0 {
 		log.Fatal("shelfload: no request succeeded")
+	}
+	if len(lat) == 0 {
+		log.Fatal("shelfload: -warmup-frac excluded every successful request from measurement")
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	pct := func(p float64) float64 {
@@ -198,9 +225,11 @@ func main() {
 		HotFraction: *hotFrac,
 		HotSet:      *hotSet,
 		Insts:       *insts,
+		WarmupFrac:  *warmFrac,
+		Measured:    len(lat),
 
 		WallMs:        float64(wall.Microseconds()) / 1000,
-		ThroughputRPS: float64(len(lat)) / wall.Seconds(),
+		ThroughputRPS: float64(succeeded) / wall.Seconds(),
 		P50Ms:         pct(0.50),
 		P99Ms:         pct(0.99),
 		MaxMs:         float64(lat[len(lat)-1].Microseconds()) / 1000,

@@ -31,6 +31,9 @@ func main() {
 		threads    = flag.Int("threads", 0, "thread count (default: number of kernels)")
 		insts      = flag.Int64("insts", 200_000, "retired instructions per thread")
 		steerName  = flag.String("steer", "", "override steering: all-iq, all-shelf, oracle, practical, coarse")
+		cores      = flag.Int("cores", 0, "simulate an N-core chip (kernels list -threads entries per core)")
+		allocName  = flag.String("alloc", "", "chip thread-to-core allocation: round-robin, icount, shelf-pressure")
+		chipEpoch  = flag.Int64("chip-epoch", 0, "chip allocation-epoch length in cycles (default 4096)")
 		list       = flag.Bool("list", false, "list available kernels and exit")
 		jsonOut    = flag.Bool("json", false, "print the versioned JSON report instead of the text summary")
 		obsOut     = flag.String("obs", "", "collect per-core telemetry and write it to this file (JSON, or CSV with a .csv extension)")
@@ -65,6 +68,15 @@ func main() {
 	ov := shelfsim.Overrides{}
 	if *steerName != "" {
 		ov.Steer = steerName
+	}
+	if *cores > 0 {
+		ov.Cores = cores
+	}
+	if *allocName != "" {
+		ov.Alloc = allocName
+	}
+	if *chipEpoch > 0 {
+		ov.ChipEpoch = chipEpoch
 	}
 	if *obsOut != "" {
 		telemetry := true

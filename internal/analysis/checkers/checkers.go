@@ -37,6 +37,7 @@ var policedSuffixes = []string{
 	"internal/core",
 	"internal/mem",
 	"internal/steer",
+	"internal/chip",
 }
 
 // policed reports whether pkgPath is (or ends with) one of the

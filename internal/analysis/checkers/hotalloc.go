@@ -28,16 +28,37 @@ import (
 // the contract.
 var Hotalloc = &analysis.Analyzer{
 	Name: "hotalloc",
-	Doc:  "forbid heap allocation in internal/core functions reachable from the cycle loop (Core.Step/Core.Run)",
+	Doc:  "forbid heap allocation in functions reachable from the cycle loop (Core.Step/Core.Run) or the chip's parallel step path (Chip.Step)",
 	Run:  runHotalloc,
 }
 
-// hotallocSuffixes scopes the check to the cycle-loop package; mem and
-// steer are driven through pre-sized state owned by core.
-var hotallocSuffixes = []string{"internal/core"}
+// hotallocRoot names one entry-point set: the methods on recv whose
+// package-local call closure must stay allocation-free.
+type hotallocRoot struct {
+	recv    string
+	methods []string
+}
+
+// hotallocRoots scopes the check per package: internal/core's cycle loop
+// (mem and steer are driven through pre-sized state owned by core), and
+// internal/chip's per-epoch step — the path every core goroutine runs, so
+// an allocation there multiplies by NumCores and serializes on the heap
+// lock. Chip.Rebalance runs once per epoch on one goroutine and is
+// deliberately not a root.
+var hotallocRoots = map[string][]hotallocRoot{
+	"internal/core": {{recv: "Core", methods: []string{"Step", "Run"}}},
+	"internal/chip": {{recv: "Chip", methods: []string{"Step"}}},
+}
 
 func runHotalloc(pass *analysis.Pass) error {
-	if !pathIn(pass.Pkg.Path(), hotallocSuffixes) {
+	var roots []hotallocRoot
+	for suffix, rs := range hotallocRoots {
+		if pathIn(pass.Pkg.Path(), []string{suffix}) {
+			roots = rs
+			break
+		}
+	}
+	if roots == nil {
 		return nil
 	}
 
@@ -55,13 +76,15 @@ func runHotalloc(pass *analysis.Pass) error {
 		}
 	}
 
-	// Roots: the cycle loop entry points on Core.
+	// Roots: the package's cycle-loop entry points.
 	var work []string
-	for _, name := range []string{"Step", "Run"} {
-		for _, fd := range decls[name] {
-			if recvNamed(pass, fd) == "Core" {
-				work = append(work, name)
-				break
+	for _, root := range roots {
+		for _, name := range root.methods {
+			for _, fd := range decls[name] {
+				if recvNamed(pass, fd) == root.recv {
+					work = append(work, name)
+					break
+				}
 			}
 		}
 	}

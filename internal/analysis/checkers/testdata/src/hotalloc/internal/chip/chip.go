@@ -1,0 +1,38 @@
+// Package chip is a fixture for the hotalloc analyzer's chip roots: the
+// parallel step path (Chip.Step and its package-local closure) must not
+// heap-allocate — every core goroutine runs it, so one allocation
+// multiplies by the core count. The epoch boundary (Rebalance) is not a
+// root and may allocate.
+package chip
+
+type slot struct{ cycles int64 }
+
+type Chip struct {
+	slots   []*slot
+	assign  [][]int
+	scratch []int
+}
+
+func (ch *Chip) Step() {
+	for _, s := range ch.slots {
+		ch.stepCore(s)
+	}
+}
+
+func (ch *Chip) stepCore(s *slot) {
+	s.cycles++
+	ch.slots = append(ch.slots, &slot{cycles: s.cycles}) // want `composite literal allocates in stepCore`
+	tmp := make([]int, len(ch.slots))                    // want `make with non-constant size in stepCore`
+	_ = tmp
+}
+
+// Rebalance is the epoch boundary: one goroutine, once per epoch, off the
+// parallel path — allocation is fine here.
+func (ch *Chip) Rebalance() {
+	moved := make([]int, 0, len(ch.assign))
+	for k := range ch.assign {
+		moved = append(moved, k)
+	}
+	ch.scratch = moved
+	ch.assign = append(ch.assign, []int{0})
+}

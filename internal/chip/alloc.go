@@ -1,0 +1,201 @@
+package chip
+
+import (
+	"fmt"
+	"sort"
+
+	"shelfsim/internal/config"
+)
+
+// rebalanceThreads runs the configured dynamic allocation policy at an
+// epoch boundary: score every movable thread, snake-deal the sorted threads
+// across the cores' vacated seats (heaviest spread first, so each core gets
+// an even mix of heavy and light threads), and rebuild the cores whose
+// thread sets changed. Threads that already closed their window are pinned.
+// It returns the number of threads migrated to a different core.
+//
+// Everything here is deterministic: metrics are integer counters sampled
+// from quiescent cores, ties break on thread id, and cores are visited in
+// id order — the same inputs produce the same assignment regardless of
+// GOMAXPROCS or step mode, which the determinism tests pin.
+func (ch *Chip) rebalanceThreads() int {
+	n := len(ch.slots)
+	ms := ch.metricScratch[:0]
+	var capacity [maxCores]int
+	oldCore := make([]int, len(ch.threads))
+	pinned := make([][]int, n)
+	for _, s := range ch.slots {
+		for li, tid := range ch.assign[s.id] {
+			oldCore[tid] = s.id
+			acc := ch.threads[tid]
+			p := s.core.ThreadProgress(li)
+			var m int64
+			switch ch.cfg.AllocPolicy {
+			case config.AllocICount:
+				// ICOUNT: current front-end + window occupancy. High
+				// occupancy marks a thread hogging window resources.
+				m = int64(p.ICount)
+			case config.AllocShelfPressure:
+				// Shelf pressure: dispatches steered to the shelf over the
+				// previous epoch. High pressure marks long in-sequence runs
+				// contending for the per-thread shelf partitions.
+				m = p.SteerShelf - acc.epochSteerShelf
+				acc.epochSteerShelf = p.SteerShelf
+			}
+			if acc.done || p.TargetReached {
+				pinned[s.id] = append(pinned[s.id], tid)
+				continue
+			}
+			capacity[s.id]++
+			ms = append(ms, threadMetric{tid: tid, metric: m})
+		}
+	}
+	ch.metricScratch = ms
+	if len(ms) == 0 {
+		return 0
+	}
+
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].metric != ms[j].metric {
+			return ms[i].metric > ms[j].metric
+		}
+		return ms[i].tid < ms[j].tid
+	})
+
+	// Snake order over the vacated seats: pass 0 deals core 0..n-1, pass 1
+	// deals n-1..0, and so on, skipping cores out of capacity. Seat count
+	// equals len(ms) by construction, so the deal always completes.
+	seq := ch.slotScratch[:0]
+	rem := capacity
+	for pass := 0; len(seq) < len(ms); pass++ {
+		if pass%2 == 0 {
+			for k := 0; k < n; k++ {
+				if rem[k] > 0 {
+					rem[k]--
+					seq = append(seq, k)
+				}
+			}
+		} else {
+			for k := n - 1; k >= 0; k-- {
+				if rem[k] > 0 {
+					rem[k]--
+					seq = append(seq, k)
+				}
+			}
+		}
+	}
+	ch.slotScratch = seq
+
+	newAssign := make([][]int, n)
+	for k := 0; k < n; k++ {
+		newAssign[k] = append([]int(nil), pinned[k]...)
+	}
+	for i, tm := range ms {
+		newAssign[seq[i]] = append(newAssign[seq[i]], tm.tid)
+	}
+	for k := range newAssign {
+		sort.Ints(newAssign[k])
+	}
+
+	moved := 0
+	movedTid := make([]bool, len(ch.threads))
+	changed := make([]bool, n)
+	for k := 0; k < n; k++ {
+		if !equalInts(newAssign[k], ch.assign[k]) {
+			changed[k] = true
+		}
+		for _, tid := range newAssign[k] {
+			if oldCore[tid] != k {
+				moved++
+				movedTid[tid] = true
+			}
+		}
+	}
+	if moved == 0 {
+		return 0
+	}
+	ch.rebuildCores(changed, newAssign, movedTid)
+	return moved
+}
+
+// rebuildCores replaces every changed core with a freshly built one over
+// its new thread set: segments close (results accumulate), streams rewind
+// to each thread's first unretired instruction, and the new cores receive
+// the threads' remaining warmup/measurement windows, the carried shared-L2
+// surcharge, and the modeled migration cost for threads that moved.
+func (ch *Chip) rebuildCores(changed []bool, newAssign [][]int, movedTid []bool) {
+	// Close the affected segments first: accumulation reads the *old*
+	// assignment, so it must complete before the new one is installed.
+	for k, s := range ch.slots {
+		if changed[k] {
+			ch.closeSegment(s)
+		}
+	}
+	for k := range ch.slots {
+		if changed[k] {
+			ch.assign[k] = newAssign[k]
+		}
+	}
+	for k, s := range ch.slots {
+		if !changed[k] {
+			continue
+		}
+		// A rebuilt core's threads refetch their in-flight suffix: cold
+		// microarchitectural state — empty window, cold predictors and
+		// caches — is the implicit part of the migration cost model.
+		for _, tid := range ch.assign[k] {
+			acc := ch.threads[tid]
+			acc.stream.rewind(acc.retired)
+		}
+		c, err := ch.buildCore(ch.assign[k])
+		if err != nil {
+			panic(fmt.Errorf("chip: rebuilding core %d: %w", k, err))
+		}
+		s.core = c
+		s.base = ch.cycle
+		s.epochRetired, s.epochL2 = 0, 0
+		s.core.Hierarchy().SetL2ExtraLatency(s.l2Extra)
+		for li, tid := range ch.assign[k] {
+			acc := ch.threads[tid]
+			acc.epochSteerShelf = 0
+			warmup, measure := ch.remainingTargets(acc)
+			s.core.SetThreadRetireTargets(li, warmup, measure)
+			if movedTid[tid] {
+				acc.migrations++
+				if ch.cfg.MigrationCost > 0 {
+					s.core.SetThreadFetchDelay(li, ch.cfg.MigrationCost)
+				}
+			}
+		}
+	}
+}
+
+// remainingTargets computes the warmup/measurement window a rebuilt core
+// should hand a thread so the cumulative window spans migrations.
+func (ch *Chip) remainingTargets(acc *threadAcc) (warmup, measure int64) {
+	switch {
+	case acc.done:
+		// Parked: the thread keeps executing (and contending for shared
+		// resources, exactly like a finished thread on a single core) but
+		// its cumulative window is closed; the token window lets the core
+		// consider it finished while the chip ignores the extra segment.
+		return 0, 1
+	case acc.warmStartSet:
+		return 0, ch.measure - acc.winRetired
+	default:
+		return ch.warmup - acc.retired, ch.measure
+	}
+}
+
+// equalInts reports whether two int slices are identical.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

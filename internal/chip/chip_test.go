@@ -1,0 +1,212 @@
+package chip
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"shelfsim/internal/config"
+	"shelfsim/internal/core"
+	"shelfsim/internal/isa"
+	"shelfsim/internal/workload"
+)
+
+// chipCfg builds a shelf64 chip configuration for tests.
+func chipCfg(cores, threads int, policy config.AllocPolicy) config.Config {
+	cfg := config.Shelf64(threads, true)
+	cfg.Name = fmt.Sprintf("chip%dx%d-%s", cores, threads, policy)
+	cfg.NumCores = cores
+	cfg.AllocPolicy = policy
+	cfg.ChipEpoch = 1024
+	cfg.MigrationCost = 200
+	cfg.L2SharePenalty = 2
+	return cfg
+}
+
+// testStreams instantiates kernel streams with the harness conventions
+// (disjoint address regions, per-thread seeds).
+func testStreams(t *testing.T, names []string) []isa.Stream {
+	t.Helper()
+	streams := make([]isa.Stream, len(names))
+	for i, name := range names {
+		k, err := workload.ByName(name)
+		if err != nil {
+			t.Fatalf("kernel %q: %v", name, err)
+		}
+		streams[i] = k.NewStream(uint64(i+1)<<32, uint64(i)+1, -1)
+	}
+	return streams
+}
+
+// repeat tiles the kernel list to n entries.
+func repeat(names []string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = names[i%len(names)]
+	}
+	return out
+}
+
+// runChip builds a chip over the named kernels, runs it to completion and
+// returns the chip plus its merged Result.
+func runChip(t *testing.T, cfg config.Config, names []string, warmup, measure int64) (*Chip, core.Result) {
+	t.Helper()
+	ch, err := New(cfg, testStreams(t, names))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ch.SetRetireTargets(warmup, measure)
+	if _, finished := ch.RunToCompletion(50_000_000); !finished {
+		t.Fatalf("chip did not finish within the cycle bound")
+	}
+	return ch, ch.Result()
+}
+
+var mixedKernels = []string{"stream", "ptrchase", "branchy", "matblock"}
+
+// TestParallelMatchesLockstep is the tentpole determinism property: the
+// goroutine-per-core step path and the sequential lockstep path must be
+// bit-identical — merged Result fingerprint, every per-core fingerprint and
+// the allocation-decision log — for every allocation policy.
+func TestParallelMatchesLockstep(t *testing.T) {
+	for _, policy := range []config.AllocPolicy{
+		config.AllocRoundRobin, config.AllocICount, config.AllocShelfPressure,
+	} {
+		t.Run(policy.String(), func(t *testing.T) {
+			names := repeat(mixedKernels, 4)
+			cfg := chipCfg(2, 2, policy)
+			cfg.Telemetry = true
+
+			par := cfg
+			par.ChipLockstep = false
+			chP, resP := runChip(t, par, names, 2000, 4000)
+
+			seq := cfg
+			seq.ChipLockstep = true
+			chL, resL := runChip(t, seq, names, 2000, 4000)
+
+			if fpP, fpL := resP.Fingerprint(), resL.Fingerprint(); fpP != fpL {
+				t.Errorf("merged fingerprint: parallel %s != lockstep %s", fpP, fpL)
+			}
+			if aP, aL := chP.AllocFingerprint(), chL.AllocFingerprint(); aP != aL {
+				t.Errorf("alloc fingerprint: parallel %s != lockstep %s", aP, aL)
+			}
+			coresP, coresL := chP.CoreFingerprints(), chL.CoreFingerprints()
+			for i := range coresP {
+				if coresP[i] != coresL[i] {
+					t.Errorf("core %d fingerprint: parallel %s != lockstep %s", i, coresP[i], coresL[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicAcrossGOMAXPROCS pins that chip results do not depend on
+// the Go scheduler's parallelism: the same seed and policy produce
+// identical fingerprints at GOMAXPROCS 1 and 4.
+func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	names := repeat(mixedKernels, 4)
+	cfg := chipCfg(2, 2, config.AllocICount)
+
+	run := func(procs int) (string, string) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		ch, res := runChip(t, cfg, names, 1000, 3000)
+		return res.Fingerprint(), ch.AllocFingerprint()
+	}
+	fp1, alloc1 := run(1)
+	fp4, alloc4 := run(4)
+	if fp1 != fp4 {
+		t.Errorf("result fingerprint: GOMAXPROCS=1 %s != GOMAXPROCS=4 %s", fp1, fp4)
+	}
+	if alloc1 != alloc4 {
+		t.Errorf("alloc fingerprint: GOMAXPROCS=1 %s != GOMAXPROCS=4 %s", alloc1, alloc4)
+	}
+}
+
+// TestICountPolicyMigrates checks the dynamic policies actually move
+// threads on a heterogeneous mix, and that round-robin never does.
+func TestICountPolicyMigrates(t *testing.T) {
+	names := []string{"ptrchase", "ptrchase", "branchy", "branchy"}
+
+	chRR, _ := runChip(t, chipCfg(2, 2, config.AllocRoundRobin), names, 1000, 3000)
+	if n := chRR.Migrations(); n != 0 {
+		t.Errorf("round-robin migrated %d threads; static policy must not migrate", n)
+	}
+	chIC, res := runChip(t, chipCfg(2, 2, config.AllocICount), names, 1000, 3000)
+	if n := chIC.Migrations(); n == 0 {
+		t.Errorf("icount policy never migrated on a heterogeneous mix")
+	}
+	// Migrated threads still complete their full cumulative windows.
+	for i, tr := range res.Threads {
+		if tr.Retired != 3000 {
+			t.Errorf("thread %d window retired %d, want 3000", i, tr.Retired)
+		}
+	}
+}
+
+// TestWindowStitching checks the paper's per-thread methodology survives
+// migrations: every thread's measured window is exactly `measure` retired
+// instructions with a positive stitched CPI, and the chip telemetry gauges
+// record epochs and migration counts.
+func TestWindowStitching(t *testing.T) {
+	names := repeat(mixedKernels, 4)
+	cfg := chipCfg(4, 1, config.AllocShelfPressure)
+	cfg.Telemetry = true
+	ch, res := runChip(t, cfg, names, 500, 2000)
+
+	if len(res.Threads) != 4 {
+		t.Fatalf("%d thread results, want 4", len(res.Threads))
+	}
+	for i, tr := range res.Threads {
+		if tr.Retired != 2000 {
+			t.Errorf("thread %d window retired %d, want 2000", i, tr.Retired)
+		}
+		if tr.CPI <= 0 {
+			t.Errorf("thread %d CPI %v, want > 0", i, tr.CPI)
+		}
+		if tr.FinishCycle <= 0 || tr.FinishCycle > res.Cycles {
+			t.Errorf("thread %d finish cycle %d outside (0, %d]", i, tr.FinishCycle, res.Cycles)
+		}
+	}
+	// A core stops executing once all its threads close their windows, so
+	// the makespan is at most chip time (whole epochs) but not necessarily
+	// epoch-aligned.
+	if res.Cycles <= 0 || res.Cycles > ch.Cycle() {
+		t.Errorf("makespan %d outside (0, %d]", res.Cycles, ch.Cycle())
+	}
+	if res.Obs == nil {
+		t.Fatalf("telemetry run returned nil Obs")
+	}
+	snap := res.Obs.Snapshot()
+	if snap.ChipEpochs <= 0 {
+		t.Errorf("chip epochs gauge %d, want > 0", snap.ChipEpochs)
+	}
+	if snap.ChipMigrations != ch.Migrations() {
+		t.Errorf("chip migrations gauge %d != chip count %d", snap.ChipMigrations, ch.Migrations())
+	}
+}
+
+// TestResultIsRepeatable pins that Result does not mutate the chip: two
+// consecutive calls return identical fingerprints.
+func TestResultIsRepeatable(t *testing.T) {
+	cfg := chipCfg(2, 2, config.AllocICount)
+	cfg.Telemetry = true
+	ch, res1 := runChip(t, cfg, repeat(mixedKernels, 4), 500, 1500)
+	res2 := ch.Result()
+	if fp1, fp2 := res1.Fingerprint(), res2.Fingerprint(); fp1 != fp2 {
+		t.Errorf("consecutive Result calls differ: %s != %s", fp1, fp2)
+	}
+}
+
+// TestNewValidation covers the constructor's argument checking.
+func TestNewValidation(t *testing.T) {
+	cfg := chipCfg(2, 2, config.AllocRoundRobin)
+	if _, err := New(cfg, testStreams(t, mixedKernels[:2])); err == nil {
+		t.Errorf("New accepted %d streams for a %dx%d chip", 2, 2, 2)
+	}
+	single := config.Shelf64(2, true)
+	if _, err := New(single, testStreams(t, mixedKernels)); err == nil {
+		t.Errorf("New accepted NumCores < 2")
+	}
+}

@@ -1,0 +1,78 @@
+package chip
+
+import (
+	"fmt"
+
+	"shelfsim/internal/isa"
+)
+
+// replayStream wraps one software thread's workload stream so the thread
+// can migrate between cores. A core refetches squashed work from its own
+// replay buffer, but a migration rebuilds the core and loses that buffer:
+// the chip instead buffers every instruction the core pulls until it is
+// known retired, and rewinds a migrated thread to its first unretired
+// dynamic instruction so the new core refetches exactly the in-flight
+// suffix. The buffer is trimmed at allocation epochs, bounding it to the
+// thread's in-flight window plus one epoch of fetch.
+//
+// A replayStream is owned by exactly one core between allocation epochs and
+// is only rewound/trimmed while the cores are quiescent, so it needs no
+// locking.
+type replayStream struct {
+	inner isa.Stream
+	buf   []isa.Inst
+	// base is the dynamic-instruction index of buf[0]; pos is the next
+	// index Next will serve. Indices count instructions pulled from inner
+	// since the start of the run (== the thread's cumulative retire count
+	// at the last trim).
+	base int64
+	pos  int64
+	// done latches inner exhaustion (bounded streams).
+	done bool
+}
+
+func newReplayStream(s isa.Stream) *replayStream { return &replayStream{inner: s} }
+
+// Name identifies the originating workload (isa.Stream).
+func (r *replayStream) Name() string { return r.inner.Name() }
+
+// Next serves the next dynamic instruction (isa.Stream): from the replay
+// buffer after a rewind, otherwise freshly pulled from the inner stream and
+// buffered.
+func (r *replayStream) Next(out *isa.Inst) bool {
+	if r.pos < r.base+int64(len(r.buf)) {
+		*out = r.buf[r.pos-r.base]
+		r.pos++
+		return true
+	}
+	if r.done || !r.inner.Next(out) {
+		r.done = true
+		return false
+	}
+	r.buf = append(r.buf, *out)
+	r.pos++
+	return true
+}
+
+// rewind repositions the stream at dynamic instruction `to`, so a rebuilt
+// core refetches everything the old core had in flight.
+func (r *replayStream) rewind(to int64) {
+	if to < r.base || to > r.pos {
+		panic(fmt.Sprintf("chip: stream rewind to %d outside buffered window [%d,%d]", to, r.base, r.pos))
+	}
+	r.pos = to
+}
+
+// trim drops buffered instructions below dynamic index `retired`: they are
+// retired and can never be refetched.
+func (r *replayStream) trim(retired int64) {
+	if retired <= r.base {
+		return
+	}
+	if retired > r.pos {
+		retired = r.pos
+	}
+	n := copy(r.buf, r.buf[retired-r.base:])
+	r.buf = r.buf[:n]
+	r.base = retired
+}

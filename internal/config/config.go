@@ -103,6 +103,56 @@ func FaultKindByName(name string) (FaultKind, error) {
 	return 0, Fielderrf("InjectFaultKind", "unknown fault kind %q", name)
 }
 
+// AllocPolicy selects the chip-level thread-to-core allocation policy:
+// how software threads are (re)assigned to cores at allocation epochs.
+// The family follows the SMT thread-to-core allocation literature: a
+// static baseline plus two dynamic policies keyed on per-thread pressure
+// metrics sampled over the previous epoch.
+type AllocPolicy uint8
+
+const (
+	// AllocRoundRobin deals threads across cores round-robin at start and
+	// never migrates: the static baseline (and the fast path — no
+	// epoch-boundary rebalancing work at all).
+	AllocRoundRobin AllocPolicy = iota
+	// AllocICount rebalances at every allocation epoch on the ICOUNT
+	// metric (in-flight + fetch-queue occupancy per thread): threads
+	// hogging window resources are spread across cores, snake-dealt so
+	// each core keeps an even mix of heavy and light threads.
+	AllocICount
+	// AllocShelfPressure rebalances on the fraction of each thread's
+	// dispatches steered to the shelf over the previous epoch: threads
+	// with long in-sequence runs (high shelf pressure) are interleaved
+	// with reordering-heavy threads so no core's shelf partitions all
+	// saturate together. Requires a shelf.
+	AllocShelfPressure
+)
+
+// String names the allocation policy.
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocRoundRobin:
+		return "round-robin"
+	case AllocICount:
+		return "icount"
+	case AllocShelfPressure:
+		return "shelf-pressure"
+	default:
+		return fmt.Sprintf("alloc(%d)", uint8(p))
+	}
+}
+
+// AllocPolicyByName maps a wire/CLI name back to an AllocPolicy (the
+// inverse of AllocPolicy.String).
+func AllocPolicyByName(name string) (AllocPolicy, error) {
+	for p := AllocRoundRobin; p <= AllocShelfPressure; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, Fielderrf("AllocPolicy", "unknown allocation policy %q", name)
+}
+
 // Config is the complete core + memory system configuration. All window
 // structure sizes are totals that are partitioned evenly across threads
 // where the paper partitions them (ROB, LQ, SQ, shelf, fetch buffers); the
@@ -214,6 +264,39 @@ type Config struct {
 	// rejected by Validate — without InjectFaultCycle.
 	InjectFaultKind FaultKind
 
+	// NumCores is the number of independent cores on the simulated chip.
+	// 0 and 1 both mean the classic single-core path (internal/core driven
+	// directly); >= 2 selects the chip layer (internal/chip): NumCores
+	// private core instances, each running Threads SMT threads, stepped in
+	// parallel with cross-core interaction only at allocation epochs. The
+	// workload must then supply Threads*NumCores kernels.
+	NumCores int
+	// AllocPolicy selects the thread-to-core allocation policy used at
+	// chip allocation epochs. Meaningful only with NumCores >= 2.
+	AllocPolicy AllocPolicy
+	// ChipLockstep forces the chip to step its cores sequentially in core
+	// order instead of one goroutine per core. Timing is identical by
+	// construction — cores share no mutable state within an epoch — and
+	// the runner's chip differential asserts bit-identical per-core result
+	// fingerprints between the two modes.
+	ChipLockstep bool
+	// ChipEpoch is the allocation epoch length in cycles: cores run ahead
+	// independently for this many cycles, then the chip applies allocator
+	// decisions and the shared-L2 contention model at the epoch boundary.
+	// Required (positive) when NumCores >= 2.
+	ChipEpoch int64
+	// MigrationCost is the modeled cost, in stalled fetch cycles, charged
+	// to a thread migrated to a different core (on top of the implicit
+	// cost of restarting with cold microarchitectural state). 0 models
+	// free migration.
+	MigrationCost int64
+	// L2SharePenalty models shared-L2 contention: each core's L2 access
+	// latency for the next epoch is inflated by this many cycles per unit
+	// of the other cores' previous-epoch L2 pressure (their L2 accesses per
+	// cycle, saturated at 8x the penalty). 0 disables the model (private L2
+	// per core).
+	L2SharePenalty int64
+
 	// RescanScheduler selects the legacy O(window) select loop that rescans
 	// the whole IQ and re-derives source readiness every cycle, instead of
 	// the incremental wakeup–select engine. Timing is identical by
@@ -320,6 +403,20 @@ func (c *Config) Validate() error {
 		return Fielderrf("InjectFaultKind", "unknown fault kind %d", c.InjectFaultKind)
 	case c.InjectFaultKind != FaultWindow && c.InjectFaultCycle == 0:
 		return Fielderrf("InjectFaultKind", "fault kind %v set without an injection cycle", c.InjectFaultKind)
+	case c.NumCores < 0 || c.NumCores > 64:
+		return Fielderrf("NumCores", "core count %d out of range [0,64]", c.NumCores)
+	case c.AllocPolicy > AllocShelfPressure:
+		return Fielderrf("AllocPolicy", "unknown allocation policy %d", c.AllocPolicy)
+	case c.NumCores >= 2 && c.ChipEpoch <= 0:
+		return Fielderrf("ChipEpoch", "chip mode needs a positive epoch length, got %d", c.ChipEpoch)
+	case c.NumCores >= 2 && c.AllocPolicy == AllocShelfPressure && c.Shelf == 0:
+		return Fielderrf("AllocPolicy", "shelf-pressure allocation requires a shelf")
+	case c.MigrationCost < 0:
+		return Fielderrf("MigrationCost", "negative migration cost %d", c.MigrationCost)
+	case c.L2SharePenalty < 0:
+		return Fielderrf("L2SharePenalty", "negative L2 share penalty %d", c.L2SharePenalty)
+	case c.NumCores < 2 && (c.AllocPolicy != AllocRoundRobin || c.ChipLockstep || c.ChipEpoch != 0 || c.MigrationCost != 0 || c.L2SharePenalty != 0):
+		return Fielderrf("NumCores", "chip knobs set without NumCores >= 2")
 	}
 	if err := c.Branch.Validate(); err != nil {
 		return wrapField("Branch", err)
@@ -343,7 +440,7 @@ func (c *Config) Validate() error {
 // checks the field-by-field coverage statically and a reflection test in
 // internal/harness checks this count (and per-field sensitivity) at run
 // time, so a field added without a fingerprint update fails both gates.
-const FingerprintFieldCount = 35
+const FingerprintFieldCount = 41
 
 // Fingerprint returns a stable hash of every configuration field,
 // enumerated explicitly rather than reflectively so coverage is auditable
@@ -366,6 +463,8 @@ func (c *Config) Fingerprint() string {
 		c.AblateNoElderStore, c.AblateNoRunCond, c.AblateNoRetireCoord)
 	fmt.Fprintf(h, " tel=%t chk=%t fault=%d fkind=%d rescan=%t name=%q",
 		c.Telemetry, c.CheckInvariants, c.InjectFaultCycle, c.InjectFaultKind, c.RescanScheduler, c.Name)
+	fmt.Fprintf(h, " cores=%d alloc=%d lockstep=%t epoch=%d migc=%d l2share=%d",
+		c.NumCores, c.AllocPolicy, c.ChipLockstep, c.ChipEpoch, c.MigrationCost, c.L2SharePenalty)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

@@ -1,0 +1,99 @@
+package core
+
+// This file is the core's chip-facing surface: per-thread window control and
+// progress snapshots. The chip layer (internal/chip) migrates software
+// threads between cores at allocation epochs; a migrated thread restarts on
+// a freshly built core with cold microarchitectural state, so the chip must
+// carry each thread's warmup/measurement window across segments and charge
+// the modeled migration cost. Nothing here is used on the single-core path.
+
+// ThreadProgress is a read-only snapshot of one thread's retirement counters
+// and measurement-window state, in this core's local cycle domain. The chip
+// layer samples it at allocation-epoch boundaries (for allocator metrics)
+// and at segment ends (to accumulate cross-migration results).
+type ThreadProgress struct {
+	// Cumulative counters since this core was constructed (one segment).
+	Retired       int64
+	RetiredInSeq  int64
+	RetiredShelf  int64
+	Fetched       int64
+	SteerShelf    int64
+	SteerIQ       int64
+	Squashes      int64
+	Mispredicts   int64
+	MemViolations int64
+	LoadForwards  int64
+	StoreCoalesce int64
+
+	// ICount is the current ICOUNT occupancy metric (front end + window).
+	ICount int
+
+	// Measurement-window state for this segment. WarmStartCycle and
+	// FinishCycle are core-local cycles; the chip offsets them by the
+	// segment's base to place them in chip time.
+	WarmupTarget   int64
+	RetireTarget   int64
+	Warmed         bool
+	WarmStartCycle int64
+	WarmInSeq      int64
+	WarmShelf      int64
+	TargetReached  bool
+	FinishCycle    int64
+	FrozenInSeq    int64
+	FrozenShelf    int64
+}
+
+// ThreadProgress snapshots thread tid's counters and window state.
+func (c *Core) ThreadProgress(tid int) ThreadProgress {
+	t := c.threads[tid]
+	return ThreadProgress{
+		Retired:       t.retired,
+		RetiredInSeq:  t.retiredInSeq,
+		RetiredShelf:  t.retiredShelf,
+		Fetched:       t.fetched,
+		SteerShelf:    t.steerShelf,
+		SteerIQ:       t.steerIQ,
+		Squashes:      t.squashes,
+		Mispredicts:   t.mispredicts,
+		MemViolations: t.memViolations,
+		LoadForwards:  t.loadForwards,
+		StoreCoalesce: t.storeCoalesce,
+
+		ICount: t.icount(),
+
+		WarmupTarget:   t.warmupTarget,
+		RetireTarget:   t.retireTarget,
+		Warmed:         t.warmed,
+		WarmStartCycle: t.warmStartCycle,
+		WarmInSeq:      t.warmInSeq,
+		WarmShelf:      t.warmShelf,
+		TargetReached:  t.targetReached,
+		FinishCycle:    t.finishCycle,
+		FrozenInSeq:    t.frozenInSeq,
+		FrozenShelf:    t.frozenShelf,
+	}
+}
+
+// SetThreadRetireTargets is the per-thread form of SetRetireTargets: thread
+// tid warms up for `warmup` retired instructions, then measures a window of
+// `measure`. The chip layer uses it on rebuilt cores to hand a migrated
+// thread its *remaining* window rather than a fresh one.
+func (c *Core) SetThreadRetireTargets(tid int, warmup, measure int64) {
+	t := c.threads[tid]
+	t.warmupTarget = warmup
+	t.retireTarget = measure
+	if warmup > 0 {
+		t.warmed = false
+	}
+}
+
+// SetThreadFetchDelay stalls thread tid's fetch until `cycles` cycles from
+// now (keeping any later stall already in force). The chip layer charges the
+// configured migration cost with it: a migrated thread's front end is dark
+// while its state transfers to the new core.
+func (c *Core) SetThreadFetchDelay(tid int, cycles int64) {
+	t := c.threads[tid]
+	if at := c.cycle + cycles; at > t.nextFetchCycle {
+		t.nextFetchCycle = at
+	}
+}

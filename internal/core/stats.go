@@ -62,6 +62,55 @@ type Stats struct {
 	ExtTagOccupancy int64
 }
 
+// Add folds another core's counters into s, field by field. The chip layer
+// merges per-core (and per-segment, across thread migrations) Stats with it;
+// after merging, Cycles is the sum of per-core cycles, so IPC() reads as the
+// per-core average while aggregate chip IPC is Retired over the chip's
+// makespan.
+func (s *Stats) Add(o *Stats) {
+	s.Cycles += o.Cycles
+	s.Fetched += o.Fetched
+	s.Renames += o.Renames
+	s.Issues += o.Issues
+	s.Retired += o.Retired
+	s.ShelfIssues += o.ShelfIssues
+	s.Squashes += o.Squashes
+	s.SquashedWritebacksFiltered += o.SquashedWritebacksFiltered
+	s.IQWrites += o.IQWrites
+	s.IQReads += o.IQReads
+	s.TagBroadcasts += o.TagBroadcasts
+	s.ROBWrites += o.ROBWrites
+	s.ROBReads += o.ROBReads
+	s.ShelfWrites += o.ShelfWrites
+	s.ShelfReads += o.ShelfReads
+	s.LSQWrites += o.LSQWrites
+	s.LSQSearches += o.LSQSearches
+	s.PRFReads += o.PRFReads
+	s.PRFWrites += o.PRFWrites
+	s.RCTReads += o.RCTReads
+	s.RCTWrites += o.RCTWrites
+	s.IQDispatchStalls += o.IQDispatchStalls
+	s.ShelfDispatchStalls += o.ShelfDispatchStalls
+	s.LSQDispatchStalls += o.LSQDispatchStalls
+	s.PRFDispatchStalls += o.PRFDispatchStalls
+	s.ExtTagStalls += o.ExtTagStalls
+	s.ROBShelfWaits += o.ROBShelfWaits
+	s.LoadForwards += o.LoadForwards
+	for i := range s.LoadsByLevel {
+		s.LoadsByLevel[i] += o.LoadsByLevel[i]
+	}
+	for i := range s.FUOps {
+		s.FUOps[i] += o.FUOps[i]
+	}
+	s.IQOccupancy += o.IQOccupancy
+	s.ROBOccupancy += o.ROBOccupancy
+	s.ShelfOccupancy += o.ShelfOccupancy
+	s.LQOccupancy += o.LQOccupancy
+	s.SQOccupancy += o.SQOccupancy
+	s.PRFOccupancy += o.PRFOccupancy
+	s.ExtTagOccupancy += o.ExtTagOccupancy
+}
+
 // IPC returns retired instructions per cycle.
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {

@@ -66,6 +66,21 @@ type CacheStats struct {
 	Prefetches  uint64 // next-line prefetches issued (when enabled)
 }
 
+// Add folds another cache's counters into s. The chip layer uses it to
+// merge per-core private hierarchies into one chip-level summary.
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.MSHRMerges += o.MSHRMerges
+	s.MSHRStalls += o.MSHRStalls
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+	s.Fills += o.Fills
+	s.WriteHits += o.WriteHits
+	s.WriteMisses += o.WriteMisses
+	s.Prefetches += o.Prefetches
+}
+
 // MissRate returns misses/(hits+misses), or 0 for an idle cache.
 func (s *CacheStats) MissRate() float64 {
 	total := s.Hits + s.Misses

@@ -62,6 +62,12 @@ type Hierarchy struct {
 	l1i *Cache
 	l1d *Cache
 	l2  *Cache
+	// l2Extra is additional L2 service latency in cycles, applied to every
+	// access the L2 participates in (hits, merges and misses alike — the
+	// request occupies the contended L2 either way). The chip layer's
+	// shared-L2 contention model drives it at allocation-epoch boundaries;
+	// 0 models an uncontended (private) L2.
+	l2Extra int64
 }
 
 // NewHierarchy builds the memory system; it panics on invalid configuration.
@@ -91,6 +97,22 @@ func (h *Hierarchy) L1D() *Cache { return h.l1d }
 
 // L2 exposes the unified second-level cache for statistics.
 func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// SetL2ExtraLatency sets the additional L2 service latency, in cycles,
+// charged on every subsequent L2-level access. The chip layer models
+// shared-L2 contention with it: each core's hierarchy is private, but at
+// allocation-epoch boundaries the chip inflates every core's L2 latency in
+// proportion to the other cores' L2 traffic. Negative values clamp to 0.
+func (h *Hierarchy) SetL2ExtraLatency(cycles int64) {
+	if cycles < 0 {
+		cycles = 0
+	}
+	h.l2Extra = cycles
+}
+
+// l2Latency is the effective L2 service latency including the contention
+// surcharge.
+func (h *Hierarchy) l2Latency() int64 { return int64(h.l2.cfg.LatencyCycles) + h.l2Extra }
 
 // access runs the generic two-level access path: probe l1, on miss probe
 // L2, on L2 miss go to DRAM; allocate/merge MSHRs along the way. It returns
@@ -138,13 +160,13 @@ func (h *Hierarchy) access(l1 *Cache, addr uint64, now int64, isWrite bool) (rea
 	var fill int64
 	if h.l2.lookup(line) {
 		h.l2.Stats.Hits++
-		fill = probeL2 + int64(h.l2.cfg.LatencyCycles)
+		fill = probeL2 + h.l2Latency()
 		lvl = LevelL2
 	} else if ready, ok := h.l2.inflight(line); ok {
 		h.l2.Stats.Misses++
 		h.l2.Stats.MSHRMerges++
-		fill = ready + int64(h.l2.cfg.LatencyCycles)
-		if min := probeL2 + int64(h.l2.cfg.LatencyCycles); fill < min {
+		fill = ready + h.l2Latency()
+		if min := probeL2 + h.l2Latency(); fill < min {
 			fill = min
 		}
 		lvl = LevelMem
@@ -154,7 +176,7 @@ func (h *Hierarchy) access(l1 *Cache, addr uint64, now int64, isWrite bool) (rea
 		if l2start > probeL2 {
 			h.l2.Stats.MSHRStalls += uint64(l2start - probeL2)
 		}
-		memDone := l2start + int64(h.l2.cfg.LatencyCycles) + int64(h.cfg.MemLatencyCycles)
+		memDone := l2start + h.l2Latency() + int64(h.cfg.MemLatencyCycles)
 		h.l2.allocMSHR(line, memDone)
 		fill = memDone
 		lvl = LevelMem

@@ -135,6 +135,18 @@ type Collector struct {
 	// engine's ready-set occupancy, Wakeups the consumer wakeups delivered
 	// that cycle (tag broadcasts plus store-sets edge resolutions).
 	Ready, Wakeups Gauge
+	// Chip-level telemetry (internal/chip; zero in single-core runs).
+	// ChipEpochs counts allocation epochs, ChipMigrations the threads moved
+	// to a different core across all of them. ChipMoved samples the moves
+	// decided at each epoch (the allocator's per-epoch decision volume);
+	// ChipCoreRetired and ChipCoreThreads sample, once per core per epoch,
+	// that core's retired-instruction delta and resident thread count (the
+	// per-core occupancy view of the chip).
+	ChipEpochs      int64
+	ChipMigrations  int64
+	ChipMoved       Gauge
+	ChipCoreRetired Gauge
+	ChipCoreThreads Gauge
 }
 
 // New returns an empty collector.
@@ -221,6 +233,27 @@ func (c *Collector) RecordSched(ready, wakeups int64) {
 	c.Wakeups.Observe(wakeups)
 }
 
+// RecordChipEpoch counts one chip allocation epoch and the thread
+// migrations it decided.
+func (c *Collector) RecordChipEpoch(moved int64) {
+	if c == nil {
+		return
+	}
+	c.ChipEpochs++
+	c.ChipMigrations += moved
+	c.ChipMoved.Observe(moved)
+}
+
+// RecordChipCore samples one core's per-epoch view: the instructions it
+// retired over the epoch and the threads resident on it.
+func (c *Collector) RecordChipCore(retired, threads int64) {
+	if c == nil {
+		return
+	}
+	c.ChipCoreRetired.Observe(retired)
+	c.ChipCoreThreads.Observe(threads)
+}
+
 // Merge folds another collector's telemetry into c. Merging is commutative
 // and associative, so a sweep may fold per-run collectors in any order;
 // gauge means stay exact (sums and sample counts add) while Max becomes the
@@ -254,6 +287,11 @@ func (c *Collector) Merge(o *Collector) {
 	c.PRF.merge(&o.PRF)
 	c.Ready.merge(&o.Ready)
 	c.Wakeups.merge(&o.Wakeups)
+	c.ChipEpochs += o.ChipEpochs
+	c.ChipMigrations += o.ChipMigrations
+	c.ChipMoved.merge(&o.ChipMoved)
+	c.ChipCoreRetired.merge(&o.ChipCoreRetired)
+	c.ChipCoreThreads.merge(&o.ChipCoreThreads)
 }
 
 // Clone returns an independent copy (a Collector is all value fields).
@@ -295,6 +333,9 @@ type Snapshot struct {
 	IssueSlots    []int64                     `json:"issue_slots"`
 	Squashes      map[string]int64            `json:"squashes"`
 	Occupancy     map[string]OccupancySummary `json:"occupancy"`
+	// Chip-level counters (omitted for single-core runs).
+	ChipEpochs     int64 `json:"chip_epochs,omitempty"`
+	ChipMigrations int64 `json:"chip_migrations,omitempty"`
 }
 
 // Snapshot builds the exportable view. Safe on a nil collector (exports an
@@ -304,13 +345,15 @@ func (c *Collector) Snapshot() Snapshot {
 		c = &Collector{}
 	}
 	s := Snapshot{
-		Cycles:        c.Cycles,
-		Steer:         map[string]SteerCount{},
-		Delays:        map[string]DelaySummary{},
-		DispatchSlots: append([]int64(nil), c.DispatchSlots[:]...),
-		IssueSlots:    append([]int64(nil), c.IssueSlots[:]...),
-		Squashes:      map[string]int64{},
-		Occupancy:     map[string]OccupancySummary{},
+		Cycles:         c.Cycles,
+		ChipEpochs:     c.ChipEpochs,
+		ChipMigrations: c.ChipMigrations,
+		Steer:          map[string]SteerCount{},
+		Delays:         map[string]DelaySummary{},
+		DispatchSlots:  append([]int64(nil), c.DispatchSlots[:]...),
+		IssueSlots:     append([]int64(nil), c.IssueSlots[:]...),
+		Squashes:       map[string]int64{},
+		Occupancy:      map[string]OccupancySummary{},
 	}
 	for op := 0; op < int(isa.NumOpClasses); op++ {
 		name := isa.OpClass(op).String()
@@ -339,6 +382,8 @@ func (c *Collector) Snapshot() Snapshot {
 		{"iq", &c.IQ}, {"rob", &c.ROB}, {"shelf", &c.Shelf},
 		{"lq", &c.LQ}, {"sq", &c.SQ}, {"prf", &c.PRF},
 		{"ready", &c.Ready}, {"wakeups", &c.Wakeups},
+		{"chip.moved", &c.ChipMoved}, {"chip.core_retired", &c.ChipCoreRetired},
+		{"chip.core_threads", &c.ChipCoreThreads},
 	} {
 		if g.gauge.Samples != 0 {
 			s.Occupancy[g.name] = OccupancySummary{Mean: g.gauge.Mean(), Max: g.gauge.Max}
@@ -367,6 +412,11 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	rows := [][]string{{"section", "key", "field", "value"}}
 	rows = append(rows, []string{"core", "cycles", "count", strconv.FormatInt(s.Cycles, 10)})
+	if s.ChipEpochs != 0 || s.ChipMigrations != 0 {
+		rows = append(rows,
+			[]string{"chip", "epochs", "count", strconv.FormatInt(s.ChipEpochs, 10)},
+			[]string{"chip", "migrations", "count", strconv.FormatInt(s.ChipMigrations, 10)})
+	}
 	for _, k := range sortedKeys(s.Steer) {
 		v := s.Steer[k]
 		rows = append(rows,

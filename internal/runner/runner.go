@@ -72,7 +72,10 @@ type Job struct {
 	// Attach, when non-nil, is invoked with the freshly constructed core
 	// before the run starts, so library callers can install per-core
 	// observers (SetMemObserver, SetRetireObserver, tracers) on supervised
-	// runs. Like Streams it is library-only and never serializes.
+	// runs. Like Streams it is library-only and never serializes. Attach is
+	// single-core only: chip jobs (Config.NumCores >= 2) rebuild cores on
+	// thread migration, so there is no stable core to observe; it is ignored
+	// in chip mode.
 	Attach func(c *core.Core)
 }
 
@@ -203,6 +206,10 @@ func (r *Runner) runOnce(ctx context.Context, job Job, warmup, measure int64, at
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
 		defer cancel()
+	}
+
+	if job.Config.NumCores >= 2 {
+		return r.runChip(ctx, job, warmup, measure, attempt)
 	}
 
 	streams := job.Streams

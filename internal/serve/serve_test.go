@@ -497,6 +497,56 @@ func TestServedResultMatchesInProcess(t *testing.T) {
 	}
 }
 
+// TestServedChipRequest drives an N-core chip job end to end through the
+// server: a JSON request with chip overrides (cores, allocation policy)
+// must resolve, simulate on the parallel chip path, serve a well-formed
+// report, and fingerprint identically to the same request run in-process
+// — the chip variant of the serve determinism contract.
+func TestServedChipRequest(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cores := 2
+	alloc := "icount"
+	req := shelfsim.Request{
+		Preset:  "shelf64-opt",
+		Threads: 2,
+		Kernels: []string{"stream", "ptrchase", "branchy", "matblock"}, // 2 per core
+		Insts:   1_500,
+		Overrides: &shelfsim.Overrides{
+			Cores: &cores,
+			Alloc: &alloc,
+		},
+	}
+	code, body := postRun(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", code, body)
+	}
+	served := decodeReport(t, body)
+	if n := len(served.Threads); n != 4 {
+		t.Fatalf("served chip report has %d threads, want 4 (threads x cores)", n)
+	}
+
+	local, err := shelfsim.RunReport(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.ResultFingerprint != local.ResultFingerprint {
+		t.Errorf("served chip result fingerprint %s != in-process %s",
+			served.ResultFingerprint, local.ResultFingerprint)
+	}
+	if served.CacheKey != local.CacheKey || served.CacheKey == "" {
+		t.Errorf("served chip cache key %q != in-process %q", served.CacheKey, local.CacheKey)
+	}
+
+	// A chip request with a mismatched workload count must be a 400 field
+	// error, not a simulation failure.
+	bad := req
+	bad.Kernels = bad.Kernels[:3]
+	bad.Threads = 0
+	if code, body := postRun(t, ts.URL, bad); code != http.StatusBadRequest {
+		t.Errorf("mismatched chip workload: HTTP %d, want 400: %s", code, body)
+	}
+}
+
 // TestMetricsTelemetry: a telemetry-enabled job's snapshot is merged into
 // /metrics, alongside the live counters and health identity fields.
 func TestMetricsTelemetry(t *testing.T) {

@@ -73,6 +73,24 @@ type Overrides struct {
 	SQ    *int `json:"sq,omitempty"`
 	PRF   *int `json:"prf,omitempty"`
 	Shelf *int `json:"shelf,omitempty"`
+	// Cores overrides the chip core count (Config.NumCores); a value of two
+	// or more turns the request into an N-core chip simulation, with the
+	// workload listing Threads kernels per core.
+	Cores *int `json:"cores,omitempty"`
+	// Alloc overrides the thread-to-core allocation policy by name:
+	// "round-robin", "icount" or "shelf-pressure". Chip mode only.
+	Alloc *string `json:"alloc,omitempty"`
+	// ChipLockstep forces the chip's deterministic sequential step path
+	// instead of one goroutine per core (the results are bit-identical; this
+	// trades wall-clock speed for single-threaded execution).
+	ChipLockstep *bool `json:"chip_lockstep,omitempty"`
+	// ChipEpoch overrides the allocation-epoch length in cycles.
+	ChipEpoch *int64 `json:"chip_epoch,omitempty"`
+	// MigrationCost overrides the modeled fetch-stall cost, in cycles, a
+	// thread pays after migrating to another core.
+	MigrationCost *int64 `json:"migration_cost,omitempty"`
+	// L2SharePenalty overrides the shared-L2 contention penalty.
+	L2SharePenalty *int64 `json:"l2_share_penalty,omitempty"`
 	// Telemetry attaches the per-core observability collector to the run.
 	Telemetry *bool `json:"telemetry,omitempty"`
 	// CheckInvariants enables the per-cycle invariant checker.
@@ -119,6 +137,31 @@ func (o *Overrides) apply(cfg *Config) error {
 			*f.dst = *f.v
 		}
 	}
+	if o.Cores != nil {
+		cfg.NumCores = *o.Cores
+	}
+	if o.Alloc != nil {
+		p, err := config.AllocPolicyByName(*o.Alloc)
+		if err != nil {
+			return err
+		}
+		cfg.AllocPolicy = p
+	}
+	if o.ChipLockstep != nil {
+		cfg.ChipLockstep = *o.ChipLockstep
+	}
+	if o.ChipEpoch != nil {
+		cfg.ChipEpoch = *o.ChipEpoch
+	}
+	if o.MigrationCost != nil {
+		cfg.MigrationCost = *o.MigrationCost
+	}
+	if o.L2SharePenalty != nil {
+		cfg.L2SharePenalty = *o.L2SharePenalty
+	}
+	if cfg.NumCores >= 2 && cfg.ChipEpoch == 0 {
+		cfg.ChipEpoch = defaultChipEpoch
+	}
 	if o.Telemetry != nil {
 		cfg.Telemetry = *o.Telemetry
 	}
@@ -135,6 +178,12 @@ func (o *Overrides) apply(cfg *Config) error {
 // for coarse steering without naming one (prior coarse-grain designs
 // switch at thousand-instruction granularity).
 const defaultCoarseInterval = 1000
+
+// defaultChipEpoch is the allocation-epoch length used when a request asks
+// for a chip (cores >= 2) without naming one: long enough to amortize the
+// epoch-boundary synchronization, short enough that the allocator reacts
+// within the paper's measurement windows.
+const defaultChipEpoch = 4096
 
 // Resolved is a Request after validation: a concrete configuration, the
 // workload mix (or custom streams) and the measurement window.
@@ -161,9 +210,25 @@ func (r Request) Resolve() (Resolved, error) {
 	if len(r.Kernels) > 0 && len(r.Streams) > 0 {
 		return rv, config.Fielderrf("kernels", "request names both kernels and custom streams")
 	}
+	// Chip requests list Threads workloads per core, so deriving the
+	// per-core thread count from the workload needs the core count first.
+	cores := 1
+	if r.Config != nil {
+		cores = r.Config.NumCores
+	}
+	if r.Overrides != nil && r.Overrides.Cores != nil {
+		cores = *r.Overrides.Cores
+	}
+	if cores < 1 {
+		cores = 1
+	}
 	threads := r.Threads
 	if threads == 0 {
-		threads = len(r.Kernels) + len(r.Streams)
+		total := len(r.Kernels) + len(r.Streams)
+		if total%cores != 0 {
+			return rv, config.Fielderrf("kernels", "%d workloads do not divide across %d cores", total, cores)
+		}
+		threads = total / cores
 	}
 	if threads <= 0 {
 		return rv, config.Fielderrf("threads", "no thread count and no workload to derive it from")
@@ -200,10 +265,15 @@ func (r Request) Resolve() (Resolved, error) {
 		return rv, err
 	}
 
+	// In chip mode the workload lists Threads software threads per core.
+	want := rv.Config.Threads
+	if rv.Config.NumCores >= 2 {
+		want *= rv.Config.NumCores
+	}
 	switch {
 	case len(r.Streams) > 0:
-		if len(r.Streams) != rv.Config.Threads {
-			return rv, config.Fielderrf("streams", "%d streams for %d threads", len(r.Streams), rv.Config.Threads)
+		if len(r.Streams) != want {
+			return rv, config.Fielderrf("streams", "%d streams for %d threads", len(r.Streams), want)
 		}
 		for i, s := range r.Streams {
 			if s == nil {
@@ -212,8 +282,8 @@ func (r Request) Resolve() (Resolved, error) {
 		}
 		rv.Streams = r.Streams
 	case len(r.Kernels) > 0:
-		if len(r.Kernels) != rv.Config.Threads {
-			return rv, config.Fielderrf("kernels", "%d kernels for %d threads", len(r.Kernels), rv.Config.Threads)
+		if len(r.Kernels) != want {
+			return rv, config.Fielderrf("kernels", "%d kernels for %d threads", len(r.Kernels), want)
 		}
 		ks := make([]*Kernel, len(r.Kernels))
 		for i, name := range r.Kernels {
