@@ -1,0 +1,111 @@
+package shelfsim
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateAsmGolden = flag.Bool("update-asm-golden", false, "rewrite testdata/asm/golden.json from current results")
+
+// asmGoldenRequest pins the measurement every golden fingerprint is taken
+// under: single-thread shelf64-opt with a fixed window. Changing this
+// invalidates every golden (regenerate with -update-asm-golden).
+func asmGoldenRequest(src string) Request {
+	return Request{Preset: "shelf64-opt", Threads: 1, Programs: []string{src}, Insts: 20_000}
+}
+
+// asmGolden is one program's pinned identity: the assembler-level
+// schedule fingerprint (catches front-end changes) and the simulated
+// result fingerprint (catches timing-model changes).
+type asmGolden struct {
+	ScheduleFingerprint string `json:"schedule_fingerprint"`
+	ResultFingerprint   string `json:"result_fingerprint"`
+	CacheKey            string `json:"cache_key"`
+}
+
+// TestAsmGoldenFingerprints simulates every checked-in program and diffs
+// its fingerprints against testdata/asm/golden.json. These are the
+// program workloads' determinism contract: any change to the assembler's
+// lowering, the unroll semantics, or the core's timing shows up as a
+// fingerprint diff here before it silently lands in cached results.
+func TestAsmGoldenFingerprints(t *testing.T) {
+	dir := filepath.Join("testdata", "asm")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]asmGolden{}
+	var names []string
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".s" {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("no programs in testdata/asm")
+	}
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Assemble(string(src), AsmOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		req := asmGoldenRequest(string(src))
+		rep, err := RunReport(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got[name] = asmGolden{
+			ScheduleFingerprint: p.Fingerprint(),
+			ResultFingerprint:   rep.ResultFingerprint,
+			CacheKey:            rep.CacheKey,
+		}
+	}
+
+	goldenPath := filepath.Join(dir, "golden.json")
+	if *updateAsmGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", goldenPath, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-asm-golden to generate)", err)
+	}
+	var want map[string]asmGolden
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden entry (run with -update-asm-golden)", name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: fingerprints diverged from golden:\n got %+v\nwant %+v", name, g, w)
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("golden entry %s has no program file", name)
+		}
+	}
+}

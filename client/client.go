@@ -85,10 +85,37 @@ func decodeError(resp *http.Response, body []byte) error {
 	case resp.StatusCode == http.StatusTooManyRequests:
 		return &BusyError{Message: eb.Error, RetryAfter: time.Duration(eb.RetryAfterMs) * time.Millisecond}
 	case resp.StatusCode == http.StatusBadRequest && eb.Field != "":
-		return &shelfsim.FieldError{Field: eb.Field, Msg: eb.Error}
+		return fieldError(eb.Field, eb.Error, eb.Line, eb.Col)
 	default:
 		return &StatusError{Code: resp.StatusCode, Message: eb.Error}
 	}
+}
+
+// fieldError reconstructs the server's typed validation failure. When the
+// envelope carries an assembler position (program workloads), the
+// *shelfsim.FieldError wraps a *shelfsim.AsmError so callers recover the
+// line and column with errors.As — the same shape shelfsim.Run returns
+// in-process for the same bad program.
+func fieldError(field, msg string, line, col int) error {
+	if line <= 0 {
+		return &shelfsim.FieldError{Field: field, Msg: msg}
+	}
+	return shelfsim.NewFieldError(field, &shelfsim.AsmError{
+		Line: line,
+		Col:  col,
+		Msg:  trimPosPrefix(msg, line, col),
+	})
+}
+
+// trimPosPrefix strips the "config: field: line:col: " framing the error
+// message accumulated on the way out, leaving the bare diagnostic for the
+// reconstructed AsmError (whose Error() re-adds "line:col:").
+func trimPosPrefix(msg string, line, col int) string {
+	p := fmt.Sprintf("%d:%d: ", line, col)
+	if i := strings.LastIndex(msg, p); i >= 0 {
+		return msg[i+len(p):]
+	}
+	return msg
 }
 
 // postJSON performs one JSON POST and returns the raw response body on
@@ -199,6 +226,38 @@ func (c *Client) Sweep(ctx context.Context, reqs []shelfsim.Request, onEvent fun
 		return completed, failed, fmt.Errorf("client: sweep stream ended without a done event")
 	}
 	return completed, failed, nil
+}
+
+// SweepPrograms sweeps assembled-program workloads: one request per
+// element of programs, each carrying that element's per-thread assembly
+// sources on top of the shared base request (base.Kernels/base.Programs
+// are ignored). Events stream like Sweep; per-item assembler rejections
+// arrive as "error" events carrying the field and source position —
+// EventError converts them to typed errors.
+func (c *Client) SweepPrograms(ctx context.Context, base shelfsim.Request, programs [][]string, onEvent func(serve.StreamEvent)) (completed, failed int, err error) {
+	reqs := make([]shelfsim.Request, len(programs))
+	for i, srcs := range programs {
+		r := base
+		r.Kernels = nil
+		r.Programs = srcs
+		reqs[i] = r
+	}
+	return c.Sweep(ctx, reqs, onEvent)
+}
+
+// EventError converts an "error" stream event into the typed error the
+// equivalent Run call would have returned: a *shelfsim.FieldError for
+// validation failures (wrapping a *shelfsim.AsmError when the event
+// carries an assembler position), or a generic error otherwise. It
+// returns nil for non-error events.
+func EventError(ev serve.StreamEvent) error {
+	if ev.Type != "error" {
+		return nil
+	}
+	if ev.Field != "" {
+		return fieldError(ev.Field, ev.Error, ev.Line, ev.Col)
+	}
+	return fmt.Errorf("shelfd: %s", ev.Error)
 }
 
 // Health fetches /healthz.

@@ -1,0 +1,121 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"shelfsim"
+	"shelfsim/internal/serve"
+)
+
+const goodProg = `
+.name clienttest
+.loop 2048
+	li x1, 0x1000
+	li x2, 0
+	li x3, 32
+top:
+	lw x4, 0(x1)
+	add x5, x5, x4
+	sw x5, 128(x1)
+	addi x1, x1, 4
+	addi x2, x2, 1
+	blt x2, x3, top
+`
+
+// TestClientProgramRun: a program request served through the client
+// matches the in-process run of the same source byte for byte.
+func TestClientProgramRun(t *testing.T) {
+	_, c := newServed(t)
+	req := shelfsim.Request{Preset: "shelf64-opt", Programs: []string{goodProg}, Insts: 1_000}
+	rep, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := shelfsim.RunReport(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResultFingerprint != local.ResultFingerprint || rep.CacheKey != local.CacheKey {
+		t.Errorf("served %s/%s != in-process %s/%s",
+			rep.ResultFingerprint, rep.CacheKey, local.ResultFingerprint, local.CacheKey)
+	}
+}
+
+// TestClientProgramFieldError: an invalid program comes back as a 400
+// whose typed error names the program and unwraps to the assembler's
+// positioned diagnostic — the same shape the in-process API returns.
+func TestClientProgramFieldError(t *testing.T) {
+	_, c := newServed(t)
+	_, err := c.Run(context.Background(), shelfsim.Request{
+		Preset:   "base64",
+		Programs: []string{"nop\nadd x1, x2, x99\n"},
+		Insts:    400,
+	})
+	var fe *shelfsim.FieldError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v is not a *shelfsim.FieldError", err)
+	}
+	if fe.Field != "programs[0]" {
+		t.Errorf("field %q, want programs[0]", fe.Field)
+	}
+	var ae *shelfsim.AsmError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v does not unwrap to *shelfsim.AsmError", err)
+	}
+	if ae.Line != 2 || ae.Col != 13 {
+		t.Errorf("diagnostic at %d:%d, want 2:13 (%s)", ae.Line, ae.Col, ae.Msg)
+	}
+	if !strings.Contains(ae.Msg, "x99") {
+		t.Errorf("diagnostic %q does not name the bad register", ae.Msg)
+	}
+}
+
+// TestClientProgramSweep: SweepPrograms fans one request per program set,
+// streams mixed outcomes, and EventError reconstructs the typed
+// positioned error for the invalid item.
+func TestClientProgramSweep(t *testing.T) {
+	_, c := newServed(t)
+	base := shelfsim.Request{Preset: "base64", Insts: 400}
+	programs := [][]string{
+		{goodProg},
+		{"bogus x1\n"},
+		{".name other\nli x1, 2\nsw x1, 0(x1)\n"},
+	}
+	var mu sync.Mutex
+	var errEvents []serve.StreamEvent
+	results := 0
+	completed, failed, err := c.SweepPrograms(context.Background(), base, programs, func(ev serve.StreamEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev.Type {
+		case "error":
+			errEvents = append(errEvents, ev)
+		case "result":
+			results++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != 2 || failed != 1 || results != 2 || len(errEvents) != 1 {
+		t.Fatalf("tally completed=%d failed=%d results=%d errors=%d, want 2/1/2/1",
+			completed, failed, results, len(errEvents))
+	}
+	ev := errEvents[0]
+	if ev.Index != 1 {
+		t.Errorf("error event index %d, want 1", ev.Index)
+	}
+	evErr := EventError(ev)
+	var fe *shelfsim.FieldError
+	if !errors.As(evErr, &fe) || fe.Field != "programs[0]" {
+		t.Fatalf("EventError %v is not a FieldError on programs[0]", evErr)
+	}
+	var ae *shelfsim.AsmError
+	if !errors.As(evErr, &ae) || ae.Line != 1 {
+		t.Fatalf("EventError %v does not carry the line-1 diagnostic", evErr)
+	}
+}

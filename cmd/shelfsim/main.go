@@ -9,6 +9,7 @@
 //	shelfsim -config shelf64-opt -kernels stream,ptrchase,branchy,matblock -insts 200000
 //	shelfsim -config base64 -threads 1 -kernels ptrchase -insts 100000
 //	shelfsim -config base64 -kernels stream,branchy -insts 100000 -json
+//	shelfsim -config shelf64-opt -asm testdata/asm/dotprod.s -insts 100000
 //	shelfsim -list
 package main
 
@@ -28,6 +29,7 @@ func main() {
 	var (
 		configName = flag.String("config", "shelf64-opt", "configuration preset: base64, base128, shelf64-cons, shelf64-opt, coarse64")
 		kernelsCSV = flag.String("kernels", "", "comma-separated kernel names, one per thread")
+		asmCSV     = flag.String("asm", "", "comma-separated assembly program files (.s), one per thread, instead of kernels")
 		threads    = flag.Int("threads", 0, "thread count (default: number of kernels)")
 		insts      = flag.Int64("insts", 200_000, "retired instructions per thread")
 		steerName  = flag.String("steer", "", "override steering: all-iq, all-shelf, oracle, practical, coarse")
@@ -54,16 +56,28 @@ func main() {
 		return
 	}
 
-	names := splitCSV(*kernelsCSV)
-	if len(names) == 0 {
-		names = []string{"stream", "ptrchase", "branchy", "matblock"}
-	}
-
 	req := shelfsim.Request{
 		Preset:  *configName,
 		Threads: *threads,
-		Kernels: names,
 		Insts:   *insts,
+	}
+	if files := splitCSV(*asmCSV); len(files) > 0 {
+		if *kernelsCSV != "" {
+			fatalf("-asm and -kernels are mutually exclusive (the workload is a union)")
+		}
+		for _, file := range files {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				fatalf("reading program: %v", err)
+			}
+			req.Programs = append(req.Programs, string(src))
+		}
+	} else {
+		names := splitCSV(*kernelsCSV)
+		if len(names) == 0 {
+			names = []string{"stream", "ptrchase", "branchy", "matblock"}
+		}
+		req.Kernels = names
 	}
 	ov := shelfsim.Overrides{}
 	if *steerName != "" {

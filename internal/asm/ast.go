@@ -1,0 +1,151 @@
+package asm
+
+import (
+	"fmt"
+
+	"shelfsim/internal/isa"
+)
+
+// shape identifies an instruction's operand syntax.
+type shape uint8
+
+const (
+	// shapeNone takes no operands (nop, fence).
+	shapeNone shape = iota
+	// shapeRRR is "rd, rs1, rs2" (add, mul, div, fadd.s, ...).
+	shapeRRR
+	// shapeRRI is "rd, rs1, imm" (addi, slli, ...).
+	shapeRRI
+	// shapeRI is "rd, imm" (li, lui).
+	shapeRI
+	// shapeRR is "rd, rs" (mv).
+	shapeRR
+	// shapeLoad is "rd, imm(rs1)" (lw, flw, ...).
+	shapeLoad
+	// shapeStore is "rs2, imm(rs1)" (sw, fsw, ...).
+	shapeStore
+	// shapeBranch is "rs1, rs2, label" (beq, bne, ...).
+	shapeBranch
+	// shapeJump is "label" (j).
+	shapeJump
+)
+
+// spec describes one mnemonic: its operand shape, the micro-op class it
+// lowers to, whether its register operands live in the FP file, and the
+// access size for memory ops.
+type spec struct {
+	shape shape
+	class isa.OpClass
+	fp    bool
+	size  uint8
+}
+
+// specs is the mnemonic table. The parser rejects anything not listed
+// here, so the lowering in assemble.go is total over parsed programs.
+var specs = map[string]spec{
+	"nop":   {shape: shapeNone, class: isa.OpNop},
+	"fence": {shape: shapeNone, class: isa.OpBarrier},
+
+	"add":  {shape: shapeRRR, class: isa.OpIntAlu},
+	"sub":  {shape: shapeRRR, class: isa.OpIntAlu},
+	"and":  {shape: shapeRRR, class: isa.OpIntAlu},
+	"or":   {shape: shapeRRR, class: isa.OpIntAlu},
+	"xor":  {shape: shapeRRR, class: isa.OpIntAlu},
+	"sll":  {shape: shapeRRR, class: isa.OpIntAlu},
+	"srl":  {shape: shapeRRR, class: isa.OpIntAlu},
+	"sra":  {shape: shapeRRR, class: isa.OpIntAlu},
+	"slt":  {shape: shapeRRR, class: isa.OpIntAlu},
+	"sltu": {shape: shapeRRR, class: isa.OpIntAlu},
+
+	"mul":    {shape: shapeRRR, class: isa.OpIntMult},
+	"mulh":   {shape: shapeRRR, class: isa.OpIntMult},
+	"mulhu":  {shape: shapeRRR, class: isa.OpIntMult},
+	"mulhsu": {shape: shapeRRR, class: isa.OpIntMult},
+	"div":    {shape: shapeRRR, class: isa.OpIntDiv},
+	"divu":   {shape: shapeRRR, class: isa.OpIntDiv},
+	"rem":    {shape: shapeRRR, class: isa.OpIntDiv},
+	"remu":   {shape: shapeRRR, class: isa.OpIntDiv},
+
+	"addi":  {shape: shapeRRI, class: isa.OpIntAlu},
+	"andi":  {shape: shapeRRI, class: isa.OpIntAlu},
+	"ori":   {shape: shapeRRI, class: isa.OpIntAlu},
+	"xori":  {shape: shapeRRI, class: isa.OpIntAlu},
+	"slli":  {shape: shapeRRI, class: isa.OpIntAlu},
+	"srli":  {shape: shapeRRI, class: isa.OpIntAlu},
+	"srai":  {shape: shapeRRI, class: isa.OpIntAlu},
+	"slti":  {shape: shapeRRI, class: isa.OpIntAlu},
+	"sltiu": {shape: shapeRRI, class: isa.OpIntAlu},
+
+	"li":  {shape: shapeRI, class: isa.OpIntAlu},
+	"lui": {shape: shapeRI, class: isa.OpIntAlu},
+	"mv":  {shape: shapeRR, class: isa.OpIntAlu},
+
+	"lw":  {shape: shapeLoad, class: isa.OpLoad, size: 4},
+	"lh":  {shape: shapeLoad, class: isa.OpLoad, size: 2},
+	"lhu": {shape: shapeLoad, class: isa.OpLoad, size: 2},
+	"lb":  {shape: shapeLoad, class: isa.OpLoad, size: 1},
+	"lbu": {shape: shapeLoad, class: isa.OpLoad, size: 1},
+	"sw":  {shape: shapeStore, class: isa.OpStore, size: 4},
+	"sh":  {shape: shapeStore, class: isa.OpStore, size: 2},
+	"sb":  {shape: shapeStore, class: isa.OpStore, size: 1},
+
+	"flw": {shape: shapeLoad, class: isa.OpLoad, fp: true, size: 4},
+	"fsw": {shape: shapeStore, class: isa.OpStore, fp: true, size: 4},
+
+	"fadd.s": {shape: shapeRRR, class: isa.OpFPAdd, fp: true},
+	"fsub.s": {shape: shapeRRR, class: isa.OpFPAdd, fp: true},
+	"fmul.s": {shape: shapeRRR, class: isa.OpFPMult, fp: true},
+	"fdiv.s": {shape: shapeRRR, class: isa.OpFPDiv, fp: true},
+
+	"beq":  {shape: shapeBranch, class: isa.OpBranch},
+	"bne":  {shape: shapeBranch, class: isa.OpBranch},
+	"blt":  {shape: shapeBranch, class: isa.OpBranch},
+	"bge":  {shape: shapeBranch, class: isa.OpBranch},
+	"bltu": {shape: shapeBranch, class: isa.OpBranch},
+	"bgeu": {shape: shapeBranch, class: isa.OpBranch},
+	"j":    {shape: shapeJump, class: isa.OpBranch},
+}
+
+// Instruction is one static instruction of a parsed program. Register
+// operands use the lowered numbering (x0..x31 -> 0..31, f0..f31 ->
+// 32..63); absent operands are -1. Branch targets are resolved to static
+// instruction indices (len(File.Insts) is a legal target: a label on the
+// final line branches to the wrap point).
+type Instruction struct {
+	// Pos anchors diagnostics for this instruction.
+	Pos Pos
+	// Mnemonic is the canonical lower-case spelling.
+	Mnemonic string
+	// Rd, Rs1, Rs2 are register operands (-1 when absent). For stores,
+	// Rs1 is the address base and Rs2 the data register.
+	Rd, Rs1, Rs2 int
+	// Imm is the immediate operand (ALU immediates and memory offsets) as
+	// a 32-bit two's-complement pattern.
+	Imm int32
+	// Target is the branch target's static instruction index (-1 for
+	// non-control instructions).
+	Target int
+}
+
+// File is a parsed program before assembly: the resolved static
+// instruction list plus the program-level directives.
+type File struct {
+	// Name is the program's .name, or "asm" when the directive is absent.
+	Name string
+	// Loop is the .loop execution-schedule bound, or 0 when the directive
+	// is absent (Assemble substitutes DefaultScheduleBound).
+	Loop int64
+	// LoopPos anchors diagnostics about the .loop bound (zero when the
+	// directive is absent).
+	LoopPos Pos
+	// Insts is the static instruction list in source order.
+	Insts []Instruction
+}
+
+// regName renders a lowered register number in source syntax.
+func regName(r int) string {
+	if r >= numIntRegs {
+		return fmt.Sprintf("f%d", r-numIntRegs)
+	}
+	return fmt.Sprintf("x%d", r)
+}

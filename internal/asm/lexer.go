@@ -1,0 +1,185 @@
+package asm
+
+import (
+	"strconv"
+
+	"shelfsim/internal/isa"
+)
+
+// numIntRegs mirrors isa.NumIntRegs: FP registers are numbered after the
+// integer file in the lowered operand space.
+const numIntRegs = isa.NumIntRegs
+
+// lexer scans assembly source into tokens, tracking 1-based line/column
+// positions. It is total over arbitrary input: every failure is a
+// positioned *Error, never a panic.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// pos is the position of the next unread byte.
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// peek returns the next byte without consuming it (0 at EOF).
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+// advance consumes one byte, maintaining the line/column counters.
+func (l *lexer) advance() byte {
+	b := l.src[l.off]
+	l.off++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentByte(b byte) bool {
+	return isIdentStart(b) || b == '.' || (b >= '0' && b <= '9')
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// skipBlank consumes spaces, tabs, carriage returns and comments ('#',
+// ';' and "//" to end of line). Newlines are significant and are not
+// consumed here.
+func (l *lexer) skipBlank() {
+	for l.off < len(l.src) {
+		switch b := l.peek(); {
+		case b == ' ' || b == '\t' || b == '\r':
+			l.advance()
+		case b == '#' || b == ';' || (b == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/'):
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next scans one token.
+func (l *lexer) next() (token, *Error) {
+	l.skipBlank()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	switch b := l.peek(); {
+	case b == '\n':
+		l.advance()
+		return token{kind: tokNewline, pos: pos}, nil
+	case b == ',':
+		l.advance()
+		return token{kind: tokComma, pos: pos}, nil
+	case b == ':':
+		l.advance()
+		return token{kind: tokColon, pos: pos}, nil
+	case b == '(':
+		l.advance()
+		return token{kind: tokLParen, pos: pos}, nil
+	case b == ')':
+		l.advance()
+		return token{kind: tokRParen, pos: pos}, nil
+	case b == '.':
+		l.advance()
+		if !isIdentStart(l.peek()) {
+			return token{}, errf(pos, "expected a directive name after '.'")
+		}
+		start := l.off
+		for l.off < len(l.src) && isIdentByte(l.peek()) {
+			l.advance()
+		}
+		return token{kind: tokDirective, pos: pos, text: l.src[start-1 : l.off]}, nil
+	case isDigit(b) || b == '-' || b == '+':
+		return l.lexInt(pos)
+	case isIdentStart(b):
+		start := l.off
+		for l.off < len(l.src) && isIdentByte(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if reg, ok, err := classifyReg(text, pos); err != nil {
+			return token{}, err
+		} else if ok {
+			return token{kind: tokReg, pos: pos, reg: reg}, nil
+		}
+		return token{kind: tokIdent, pos: pos, text: text}, nil
+	default:
+		return token{}, errf(pos, "unexpected character %q", string(rune(b)))
+	}
+}
+
+// lexInt scans a decimal or 0x-hex integer literal, optionally signed.
+// Values are accepted in the union of the int32 and uint32 ranges and
+// normalized to the 32-bit two's-complement pattern they denote, so
+// "0xEDB88320" and "-306674912" are the same immediate.
+func (l *lexer) lexInt(pos Pos) (token, *Error) {
+	start := l.off
+	if b := l.peek(); b == '-' || b == '+' {
+		l.advance()
+	}
+	if !isDigit(l.peek()) {
+		return token{}, errf(pos, "expected digits in integer literal")
+	}
+	for l.off < len(l.src) && (isIdentByte(l.peek())) {
+		// Consume trailing identifier bytes too, so "0x12g4" is one bad
+		// literal rather than an integer followed by a stray identifier.
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		return token{}, errf(pos, "bad integer literal %q", text)
+	}
+	if v < -1<<31 || v > 1<<32-1 {
+		return token{}, errf(pos, "integer literal %s out of 32-bit range", text)
+	}
+	return token{kind: tokInt, pos: pos, val: int64(int32(uint32(v)))}, nil
+}
+
+// classifyReg recognizes x0..x31 and f0..f31 spellings, mapping them to
+// the lowered operand numbering (FP registers follow the integer file).
+// Idents shaped like registers but out of range ("x32") are diagnosed
+// rather than silently treated as labels.
+func classifyReg(text string, pos Pos) (int, bool, *Error) {
+	if len(text) < 2 || (text[0] != 'x' && text[0] != 'f') {
+		return 0, false, nil
+	}
+	for i := 1; i < len(text); i++ {
+		if !isDigit(text[i]) {
+			return 0, false, nil
+		}
+	}
+	n, err := strconv.Atoi(text[1:])
+	if err != nil || (len(text) > 2 && text[1] == '0') {
+		// Reject leading zeros ("x01") as well as overflow: one canonical
+		// spelling per register keeps String() round trips exact.
+		return 0, false, errf(pos, "bad register name %q (want x0..x31 or f0..f31)", text)
+	}
+	if n > 31 {
+		return 0, false, errf(pos, "register %s out of range (31 is the highest)", text)
+	}
+	if text[0] == 'f' {
+		return numIntRegs + n, true, nil
+	}
+	return n, true, nil
+}

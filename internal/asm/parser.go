@@ -1,0 +1,308 @@
+package asm
+
+// parser turns the token stream into a File: a typed static instruction
+// list with labels resolved to instruction indices. Every failure is a
+// positioned *Error.
+type parser struct {
+	lex *lexer
+	tok token
+
+	file   File
+	labels map[string]labelDef
+	// refs are unresolved branch-target uses, fixed up after the last
+	// line so forward references work.
+	refs []labelRef
+}
+
+type labelDef struct {
+	index int
+	pos   Pos
+}
+
+type labelRef struct {
+	name string
+	pos  Pos
+	inst int
+}
+
+// parse lexes and parses src in one pass.
+func parse(src string) (*File, *Error) {
+	p := &parser{lex: newLexer(src), labels: make(map[string]labelDef)}
+	p.file.Name = "asm"
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokEOF {
+		if err := p.parseLine(); err != nil {
+			return nil, err
+		}
+	}
+	for _, ref := range p.refs {
+		def, ok := p.labels[ref.name]
+		if !ok {
+			return nil, errf(ref.pos, "undefined label %q", ref.name)
+		}
+		p.file.Insts[ref.inst].Target = def.index
+	}
+	return &p.file, nil
+}
+
+// next advances the lookahead token.
+func (p *parser) next() *Error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// expect consumes a token of kind k or fails with a "expected X, got Y"
+// diagnostic.
+func (p *parser) expect(k kind, what string) (token, *Error) {
+	if p.tok.kind != k {
+		return token{}, errf(p.tok.pos, "expected %s, got %s", what, p.tok)
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+// endLine consumes the newline (or EOF) terminating a statement.
+func (p *parser) endLine() *Error {
+	switch p.tok.kind {
+	case tokNewline:
+		return p.next()
+	case tokEOF:
+		return nil
+	default:
+		return errf(p.tok.pos, "expected end of line, got %s", p.tok)
+	}
+}
+
+// parseLine handles one source line: zero or more "label:" definitions
+// followed by an optional directive or instruction.
+func (p *parser) parseLine() *Error {
+	for {
+		switch p.tok.kind {
+		case tokNewline:
+			return p.next()
+		case tokEOF:
+			return nil
+		case tokDirective:
+			if err := p.parseDirective(); err != nil {
+				return err
+			}
+			return p.endLine()
+		case tokIdent:
+			// Lookahead decides label definition vs instruction.
+			id := p.tok
+			if err := p.next(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokColon {
+				if prev, dup := p.labels[id.text]; dup {
+					return errf(id.pos, "label %q already defined on line %d", id.text, prev.pos.Line)
+				}
+				p.labels[id.text] = labelDef{index: len(p.file.Insts), pos: id.pos}
+				if err := p.next(); err != nil {
+					return err
+				}
+				continue // more labels or an instruction may follow
+			}
+			if err := p.parseInstruction(id); err != nil {
+				return err
+			}
+			return p.endLine()
+		default:
+			return errf(p.tok.pos, "expected a label, directive or instruction, got %s", p.tok)
+		}
+	}
+}
+
+// parseDirective handles ".name ident" and ".loop int".
+func (p *parser) parseDirective() *Error {
+	d := p.tok
+	if err := p.next(); err != nil {
+		return err
+	}
+	switch d.text {
+	case ".name":
+		id, err := p.expect(tokIdent, "a program name")
+		if err != nil {
+			return err
+		}
+		p.file.Name = id.text
+		return nil
+	case ".loop":
+		n, err := p.expect(tokInt, "an execution-schedule bound")
+		if err != nil {
+			return err
+		}
+		if n.val <= 0 {
+			return errf(n.pos, "non-positive .loop bound %d", n.val)
+		}
+		p.file.Loop = n.val
+		p.file.LoopPos = d.pos
+		return nil
+	default:
+		return errf(d.pos, "unknown directive %q (want .name or .loop)", d.text)
+	}
+}
+
+// reg consumes a register operand of the required file (integer or FP).
+func (p *parser) reg(fp bool) (int, *Error) {
+	t, err := p.expect(tokReg, registerWhat(fp))
+	if err != nil {
+		return 0, err
+	}
+	if fp != (t.reg >= numIntRegs) {
+		return 0, errf(t.pos, "expected %s, got %s", registerWhat(fp), regName(t.reg))
+	}
+	return t.reg, nil
+}
+
+func registerWhat(fp bool) string {
+	if fp {
+		return "an FP register (f0..f31)"
+	}
+	return "an integer register (x0..x31)"
+}
+
+// comma consumes one ','.
+func (p *parser) comma() *Error {
+	_, err := p.expect(tokComma, "','")
+	return err
+}
+
+// parseInstruction parses the operands for the mnemonic token m and
+// appends the instruction.
+func (p *parser) parseInstruction(m token) *Error {
+	sp, ok := specs[m.text]
+	if !ok {
+		return errf(m.pos, "unknown mnemonic %q", m.text)
+	}
+	in := Instruction{Pos: m.pos, Mnemonic: m.text, Rd: -1, Rs1: -1, Rs2: -1, Target: -1}
+	var err *Error
+	switch sp.shape {
+	case shapeNone:
+		// no operands
+	case shapeRRR:
+		if in.Rd, err = p.reg(sp.fp); err != nil {
+			return err
+		}
+		if err = p.comma(); err != nil {
+			return err
+		}
+		if in.Rs1, err = p.reg(sp.fp); err != nil {
+			return err
+		}
+		if err = p.comma(); err != nil {
+			return err
+		}
+		if in.Rs2, err = p.reg(sp.fp); err != nil {
+			return err
+		}
+	case shapeRRI:
+		if in.Rd, err = p.reg(false); err != nil {
+			return err
+		}
+		if err = p.comma(); err != nil {
+			return err
+		}
+		if in.Rs1, err = p.reg(false); err != nil {
+			return err
+		}
+		if err = p.comma(); err != nil {
+			return err
+		}
+		t, err2 := p.expect(tokInt, "an immediate")
+		if err2 != nil {
+			return err2
+		}
+		in.Imm = int32(t.val)
+	case shapeRI:
+		if in.Rd, err = p.reg(false); err != nil {
+			return err
+		}
+		if err = p.comma(); err != nil {
+			return err
+		}
+		t, err2 := p.expect(tokInt, "an immediate")
+		if err2 != nil {
+			return err2
+		}
+		in.Imm = int32(t.val)
+	case shapeRR:
+		if in.Rd, err = p.reg(false); err != nil {
+			return err
+		}
+		if err = p.comma(); err != nil {
+			return err
+		}
+		if in.Rs1, err = p.reg(false); err != nil {
+			return err
+		}
+	case shapeLoad, shapeStore:
+		// Loads: "rd, imm(rs1)". Stores: "rs2, imm(rs1)" — the data
+		// register parses first, matching RISC-V assembly.
+		r, err2 := p.reg(sp.fp)
+		if err2 != nil {
+			return err2
+		}
+		if sp.shape == shapeLoad {
+			in.Rd = r
+		} else {
+			in.Rs2 = r
+		}
+		if err = p.comma(); err != nil {
+			return err
+		}
+		t, err2 := p.expect(tokInt, "an address offset")
+		if err2 != nil {
+			return err2
+		}
+		in.Imm = int32(t.val)
+		if _, err2 = p.expect(tokLParen, "'('"); err2 != nil {
+			return err2
+		}
+		if in.Rs1, err = p.reg(false); err != nil {
+			return err
+		}
+		if _, err2 = p.expect(tokRParen, "')'"); err2 != nil {
+			return err2
+		}
+	case shapeBranch:
+		if in.Rs1, err = p.reg(false); err != nil {
+			return err
+		}
+		if err = p.comma(); err != nil {
+			return err
+		}
+		if in.Rs2, err = p.reg(false); err != nil {
+			return err
+		}
+		if err = p.comma(); err != nil {
+			return err
+		}
+		if err = p.targetLabel(&in); err != nil {
+			return err
+		}
+	case shapeJump:
+		if err = p.targetLabel(&in); err != nil {
+			return err
+		}
+	}
+	p.file.Insts = append(p.file.Insts, in)
+	return nil
+}
+
+// targetLabel records a branch-target label use for post-parse
+// resolution.
+func (p *parser) targetLabel(in *Instruction) *Error {
+	t, err := p.expect(tokIdent, "a branch target label")
+	if err != nil {
+		return err
+	}
+	p.refs = append(p.refs, labelRef{name: t.text, pos: t.pos, inst: len(p.file.Insts)})
+	return nil
+}

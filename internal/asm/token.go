@@ -1,0 +1,117 @@
+// Package asm is the RV32IM-flavored assembly front end: a lexer, a
+// parser and an assembler that lower small text programs to the isa
+// micro-op streams the timing simulator consumes. It exists so workloads
+// can be *programs* instead of generator kernels — a Request can carry
+// assembly source over the wire, shelfd can serve "submit your code, get
+// its shelf behaviour", and classic loops (dot product, linked-list walk,
+// CRC) become checked-in .s files with golden fingerprints.
+//
+// The instruction set is deliberately a software-emulation-friendly
+// subset of RV32IM plus single-precision FP arithmetic: integer ALU ops
+// and their immediates, the M extension (mul/div), word/half/byte loads
+// and stores, conditional branches, j, fence, and fadd.s/fsub.s/fmul.s/
+// fdiv.s with flw/fsw. Registers are written x0..x31 (x0 hardwired zero)
+// and f0..f31. There are no indirect jumps and no syscalls: control flow
+// is fully resolvable from labels, which is what lets the assembler
+// unroll a bounded execution schedule (see Assemble).
+//
+// Semantics are evaluated, not just encoded: the assembler emulates the
+// program (32-bit two's-complement integers, IEEE-754 float32, a sparse
+// byte-addressed memory whose uninitialized cells read as a deterministic
+// hash of their address) to derive the concrete effective addresses and
+// branch outcomes the correct-path stream needs.
+package asm
+
+import "fmt"
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// Error is a typed assembler diagnostic carrying the 1-based source
+// position it is anchored at. Every lexing, parsing and assembly failure
+// is one of these, so front ends (shelfd, the client, the CLIs) can point
+// at the offending line and column without parsing messages.
+type Error struct {
+	// Line and Col locate the diagnostic (1-based; column is in bytes).
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Msg states what is wrong.
+	Msg string `json:"message"`
+}
+
+// Error implements the error interface: "line:col: message".
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// errf builds a positioned diagnostic.
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Line: pos.Line, Col: pos.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// kind discriminates token classes.
+type kind uint8
+
+const (
+	tokEOF kind = iota
+	tokNewline
+	// tokIdent is a mnemonic or label identifier (letters, digits, '_',
+	// '.', not starting with a digit or '.').
+	tokIdent
+	// tokDirective is a '.'-prefixed identifier (".name", ".loop").
+	tokDirective
+	// tokInt is an integer literal; Val holds its value.
+	tokInt
+	// tokReg is a register; Reg holds the isa numbering (x0..x31 -> 0..31,
+	// f0..f31 -> 32..63).
+	tokReg
+	tokComma
+	tokColon
+	tokLParen
+	tokRParen
+)
+
+var kindNames = [...]string{
+	"end of file", "end of line", "identifier", "directive",
+	"integer", "register", "','", "':'", "'('", "')'",
+}
+
+func (k kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexed token with its source position.
+type token struct {
+	kind kind
+	pos  Pos
+	// text is the raw identifier/directive spelling.
+	text string
+	// val is the integer literal value (tokInt), stored as the 32-bit
+	// two's-complement pattern it resolves to.
+	val int64
+	// reg is the isa register number (tokReg).
+	reg int
+}
+
+// String renders the token for "got X" diagnostics.
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent, tokDirective:
+		return fmt.Sprintf("%q", t.text)
+	case tokInt:
+		return fmt.Sprintf("integer %d", t.val)
+	case tokReg:
+		if t.reg >= numIntRegs {
+			return fmt.Sprintf("register f%d", t.reg-numIntRegs)
+		}
+		return fmt.Sprintf("register x%d", t.reg)
+	default:
+		return t.kind.String()
+	}
+}

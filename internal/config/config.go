@@ -304,6 +304,13 @@ type Config struct {
 	// rescan path exists for that differential and for debugging.
 	RescanScheduler bool
 
+	// AsmScheduleBound caps the unrolled execution schedule an assembled
+	// program (Request.Programs) may request via its .loop directive. 0
+	// selects the assembler's hard ceiling. It participates in the
+	// fingerprint because it can change which programs a configuration
+	// accepts, and therefore which cached results exist under a key.
+	AsmScheduleBound int64
+
 	// Name labels the configuration in reports.
 	Name string
 }
@@ -342,6 +349,15 @@ func Fielderrf(field, format string, args ...any) *FieldError {
 // rooted at the named Config field, preserving the cause for errors.As.
 func wrapField(field string, err error) *FieldError {
 	return &FieldError{Field: field, Msg: err.Error(), err: err}
+}
+
+// WrapFielderr attributes an underlying error to a request or config
+// field, preserving the cause for errors.As. Exported so the request
+// layer can wrap assembler diagnostics (which carry line/column
+// positions) in the same type the servers map to 400s — front ends
+// unwrap the cause to recover the position.
+func WrapFielderr(field string, err error) *FieldError {
+	return wrapField(field, err)
 }
 
 // Validate reports the first configuration error found as a *FieldError
@@ -411,6 +427,8 @@ func (c *Config) Validate() error {
 		return Fielderrf("ChipEpoch", "chip mode needs a positive epoch length, got %d", c.ChipEpoch)
 	case c.NumCores >= 2 && c.AllocPolicy == AllocShelfPressure && c.Shelf == 0:
 		return Fielderrf("AllocPolicy", "shelf-pressure allocation requires a shelf")
+	case c.AsmScheduleBound < 0:
+		return Fielderrf("AsmScheduleBound", "negative assembler schedule bound %d", c.AsmScheduleBound)
 	case c.MigrationCost < 0:
 		return Fielderrf("MigrationCost", "negative migration cost %d", c.MigrationCost)
 	case c.L2SharePenalty < 0:
@@ -440,7 +458,7 @@ func (c *Config) Validate() error {
 // checks the field-by-field coverage statically and a reflection test in
 // internal/harness checks this count (and per-field sensitivity) at run
 // time, so a field added without a fingerprint update fails both gates.
-const FingerprintFieldCount = 41
+const FingerprintFieldCount = 42
 
 // Fingerprint returns a stable hash of every configuration field,
 // enumerated explicitly rather than reflectively so coverage is auditable
@@ -461,8 +479,9 @@ func (c *Config) Fingerprint() string {
 	fmt.Fprintf(h, " mem={%+v} branch={%+v} ss={%+v}", c.Mem, c.Branch, c.StoreSets)
 	fmt.Fprintf(h, " ab=%t%t%t%t%t", c.AblateNoSSR, c.AblateNoWAW,
 		c.AblateNoElderStore, c.AblateNoRunCond, c.AblateNoRetireCoord)
-	fmt.Fprintf(h, " tel=%t chk=%t fault=%d fkind=%d rescan=%t name=%q",
-		c.Telemetry, c.CheckInvariants, c.InjectFaultCycle, c.InjectFaultKind, c.RescanScheduler, c.Name)
+	fmt.Fprintf(h, " tel=%t chk=%t fault=%d fkind=%d rescan=%t asmb=%d name=%q",
+		c.Telemetry, c.CheckInvariants, c.InjectFaultCycle, c.InjectFaultKind,
+		c.RescanScheduler, c.AsmScheduleBound, c.Name)
 	fmt.Fprintf(h, " cores=%d alloc=%d lockstep=%t epoch=%d migc=%d l2share=%d",
 		c.NumCores, c.AllocPolicy, c.ChipLockstep, c.ChipEpoch, c.MigrationCost, c.L2SharePenalty)
 	return fmt.Sprintf("%016x", h.Sum64())

@@ -106,7 +106,15 @@ func (h *Harness) prepare(cfg *config.Config, mix workload.Mix) {
 // exposes it, and the serving layer deduplicates in-flight jobs with it,
 // so all three agree on when two runs are the same run.
 func CacheKey(cfg *config.Config, mix workload.Mix, warmup, insts int64) string {
-	return fmt.Sprintf("%s/%s/%d/%d", cfg.Fingerprint(), mix.Name(), warmup, insts)
+	return WorkloadCacheKey(cfg, mix.Name(), warmup, insts)
+}
+
+// WorkloadCacheKey is CacheKey for any workload with a canonical string
+// identity — a kernel mix name or an assembled-program workload ID. The
+// two workload namespaces cannot collide: mix names are kernel names
+// joined with '+', program IDs are "asm[...]".
+func WorkloadCacheKey(cfg *config.Config, workloadID string, warmup, insts int64) string {
+	return fmt.Sprintf("%s/%s/%d/%d", cfg.Fingerprint(), workloadID, warmup, insts)
 }
 
 // cacheKey keys runs on the harness's own measurement window.

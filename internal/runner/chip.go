@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"shelfsim/internal/asm"
 	"shelfsim/internal/chip"
 	"shelfsim/internal/config"
 	"shelfsim/internal/core"
@@ -17,7 +18,11 @@ import (
 func (r *Runner) runChip(ctx context.Context, job Job, warmup, measure int64, attempt int) (*core.Result, *SimError) {
 	streams := job.Streams
 	if streams == nil {
-		streams = Streams(job.Mix, -1)
+		if len(job.Programs) > 0 {
+			streams = asm.Streams(job.Programs)
+		} else {
+			streams = Streams(job.Mix, -1)
+		}
 	}
 	ch, err := chip.New(job.Config, streams)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"shelfsim/internal/asm"
 	"shelfsim/internal/config"
 	"shelfsim/internal/core"
 	"shelfsim/internal/isa"
@@ -63,6 +64,12 @@ func (e *SimError) Unwrap() error { return e.err }
 type Job struct {
 	Config config.Config
 	Mix    workload.Mix
+	// Programs, when non-empty, is the assembled-program workload, one
+	// program per thread. Unlike Streams, programs have canonical cache
+	// identities (their schedule fingerprints), so program jobs serve and
+	// memoize like kernel mixes. Fresh replay streams are instantiated per
+	// attempt, so retries see the workload from the top.
+	Programs []*asm.Program
 	// Streams, when non-nil, overrides the mix-derived instruction streams
 	// (library callers driving custom workloads or recorded traces). It is
 	// not serializable, so network front ends never set it.
@@ -79,9 +86,13 @@ type Job struct {
 	Attach func(c *core.Core)
 }
 
-// label identifies the job's workload in failure reports: the mix name, or
-// the stream names when the job runs caller-provided streams.
+// label identifies the job's workload in failure reports: the mix name,
+// the program workload ID, or the stream names when the job runs
+// caller-provided streams.
 func (j *Job) label() string {
+	if len(j.Programs) > 0 {
+		return asm.WorkloadID(j.Programs)
+	}
 	if len(j.Mix.Kernels) > 0 || j.Streams == nil {
 		return j.Mix.Name()
 	}
@@ -214,7 +225,11 @@ func (r *Runner) runOnce(ctx context.Context, job Job, warmup, measure int64, at
 
 	streams := job.Streams
 	if streams == nil {
-		streams = Streams(job.Mix, -1)
+		if len(job.Programs) > 0 {
+			streams = asm.Streams(job.Programs)
+		} else {
+			streams = Streams(job.Mix, -1)
+		}
 	}
 	c, err := core.New(job.Config, streams)
 	if err != nil {

@@ -142,10 +142,11 @@ func (s *Server) execute(sh *shard, f *flight) {
 	}
 	s.counters.executed.Add(1)
 	res, simErr := s.run.Execute(context.Background(), runner.Job{
-		Config:  f.rv.Config,
-		Mix:     f.rv.Mix,
-		Warmup:  f.rv.Warmup,
-		Measure: f.rv.Insts,
+		Config:   f.rv.Config,
+		Mix:      f.rv.Mix,
+		Programs: f.rv.Programs,
+		Warmup:   f.rv.Warmup,
+		Measure:  f.rv.Insts,
 	})
 
 	if simErr != nil {

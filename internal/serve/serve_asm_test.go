@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"shelfsim"
+)
+
+// progSrc is a small but non-trivial program: a dependent accumulation
+// loop with loads and stores, enough to exercise every pipeline stage.
+const progSrc = `
+.name servetest
+.loop 4096
+	li x1, 0x1000
+	li x2, 0
+	li x3, 64
+top:
+	lw x4, 0(x1)
+	add x5, x5, x4
+	sw x5, 256(x1)
+	addi x1, x1, 4
+	addi x2, x2, 1
+	blt x2, x3, top
+`
+
+// TestServedProgramMatchesInProcess is the program-workload acceptance
+// differential: assembly source POSTed to shelfd must produce a report
+// whose fingerprints and cache key are byte-identical to shelfsim.Run of
+// the same source in-process.
+func TestServedProgramMatchesInProcess(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := shelfsim.Request{
+		Preset:   "shelf64-opt",
+		Programs: []string{progSrc},
+		Insts:    2_000,
+	}
+	code, body := postRun(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", code, body)
+	}
+	served := decodeReport(t, body)
+
+	local, err := shelfsim.RunReport(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.ResultFingerprint != local.ResultFingerprint {
+		t.Errorf("served result fingerprint %s != in-process %s",
+			served.ResultFingerprint, local.ResultFingerprint)
+	}
+	if served.ConfigFingerprint != local.ConfigFingerprint {
+		t.Errorf("served config fingerprint %s != in-process %s",
+			served.ConfigFingerprint, local.ConfigFingerprint)
+	}
+	if served.CacheKey != local.CacheKey || served.CacheKey == "" {
+		t.Errorf("served cache key %q != in-process %q", served.CacheKey, local.CacheKey)
+	}
+	if served.Cycles != local.Cycles {
+		t.Errorf("served cycles %d != in-process %d", served.Cycles, local.Cycles)
+	}
+}
+
+// TestServedProgramDedupAcrossSpellings proves the cache identity is the
+// execution schedule, not the text: two submissions differing only in
+// labels and comments must resolve to the same cache key, so the second
+// attaches to (or is answered by) the first's execution.
+func TestServedProgramDedupAcrossSpellings(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	a := shelfsim.Request{Preset: "base64", Programs: []string{".name p\nA:\nnop\nli x1, 1\nj A2\nA2:\nsw x1, 0(x1)\n"}, Insts: 500}
+	b := shelfsim.Request{Preset: "base64", Programs: []string{"# same program, respelled\n.name p\nstart: nop ; c1\n li x1, 1\n j fin\nfin: sw x1, 0(x1)\n"}, Insts: 500}
+
+	keyA, err := a.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB, err := b.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyA != keyB {
+		t.Fatalf("respelled program changed the cache key:\n%s\n%s", keyA, keyB)
+	}
+
+	codeA, bodyA := postRun(t, ts.URL, a)
+	codeB, bodyB := postRun(t, ts.URL, b)
+	if codeA != http.StatusOK || codeB != http.StatusOK {
+		t.Fatalf("HTTP %d/%d: %s %s", codeA, codeB, bodyA, bodyB)
+	}
+	repA, repB := decodeReport(t, bodyA), decodeReport(t, bodyB)
+	if repA.ResultFingerprint != repB.ResultFingerprint || repA.CacheKey != repB.CacheKey {
+		t.Errorf("respelled program served different results: %s/%s vs %s/%s",
+			repA.ResultFingerprint, repA.CacheKey, repB.ResultFingerprint, repB.CacheKey)
+	}
+}
+
+// TestBadProgram400WithPosition asserts the wire contract for assembler
+// rejections: 400, the field naming the offending program, and the
+// 1-based line/column of the diagnostic in the envelope.
+func TestBadProgram400WithPosition(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := shelfsim.Request{
+		Preset:   "base64",
+		Programs: []string{"nop\nfrobnicate x1, x2\n"},
+		Insts:    500,
+	}
+	code, body := postRun(t, ts.URL, req)
+	if code != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400: %s", code, body)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	if eb.Field != "programs[0]" {
+		t.Errorf("field %q, want programs[0]", eb.Field)
+	}
+	if eb.Line != 2 || eb.Col != 1 {
+		t.Errorf("position %d:%d, want 2:1 (%s)", eb.Line, eb.Col, eb.Error)
+	}
+}

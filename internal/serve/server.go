@@ -188,8 +188,13 @@ type metaDoc struct {
 // request/config field for 400s, so clients can attribute failures without
 // parsing messages; RetryAfterMs mirrors the Retry-After header on 429s.
 type ErrorBody struct {
-	Error        string `json:"error"`
-	Field        string `json:"field,omitempty"`
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+	// Line and Col locate assembler diagnostics (1-based) when Field names
+	// a program ("programs[i]"), so clients can point at the offending
+	// source position without parsing the message.
+	Line         int    `json:"line,omitempty"`
+	Col          int    `json:"col,omitempty"`
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
 }
 
@@ -429,6 +434,11 @@ func errorBody(err error) ErrorBody {
 	var fe *shelfsim.FieldError
 	if errors.As(err, &fe) {
 		body.Field = fe.Field
+	}
+	var ae *shelfsim.AsmError
+	if errors.As(err, &ae) {
+		body.Line = ae.Line
+		body.Col = ae.Col
 	}
 	return body
 }

@@ -48,6 +48,10 @@ type StreamEvent struct {
 	Report    *shelfsim.Report `json:"report,omitempty"`
 	Error     string           `json:"error,omitempty"`
 	Field     string           `json:"field,omitempty"`
+	// Line and Col locate assembler diagnostics (1-based) when Field names
+	// a program in the failed item.
+	Line int `json:"line,omitempty"`
+	Col  int `json:"col,omitempty"`
 }
 
 // handleSweep is POST /v1/sweep: NDJSON progress streaming for long
@@ -171,7 +175,7 @@ func (s *Server) runSweepItem(ctx context.Context, idx int, req shelfsim.Request
 	f, err := s.submitRetry(ctx, req)
 	if err != nil {
 		body := errorBody(err)
-		return StreamEvent{Type: "error", Index: idx, Error: body.Error, Field: body.Field}
+		return StreamEvent{Type: "error", Index: idx, Error: body.Error, Field: body.Field, Line: body.Line, Col: body.Col}
 	}
 	select {
 	case <-f.done:
@@ -180,7 +184,7 @@ func (s *Server) runSweepItem(ctx context.Context, idx int, req shelfsim.Request
 	}
 	if f.err != nil {
 		body := errorBody(f.err)
-		return StreamEvent{Type: "error", Index: idx, Error: body.Error, Field: body.Field}
+		return StreamEvent{Type: "error", Index: idx, Error: body.Error, Field: body.Field, Line: body.Line, Col: body.Col}
 	}
 	return StreamEvent{Type: "result", Index: idx, Report: &f.report}
 }

@@ -2,7 +2,10 @@ package shelfsim
 
 import (
 	"context"
+	"fmt"
+	"strings"
 
+	"shelfsim/internal/asm"
 	"shelfsim/internal/config"
 	"shelfsim/internal/harness"
 	"shelfsim/internal/runner"
@@ -27,8 +30,14 @@ type SimError = runner.SimError
 //
 // A request names its configuration either by Preset (with optional
 // Overrides) — the wire-friendly path — or by embedding a full Config.
-// The workload is a list of kernel names, one per thread; library callers
-// may instead supply custom Streams, which never travel over the wire.
+//
+// The workload is a union: exactly one of Kernels (registry names),
+// Programs (assembly source text) or Streams (caller-provided
+// isa.Streams) describes the per-thread work. Kernels and Programs are
+// wire-servable and have canonical cache identities; Streams is
+// library-only, never travels over the wire, and is deprecated for new
+// callers — write the workload as a program instead, which shelfd can
+// serve and the result store can cache.
 type Request struct {
 	// Preset names a Table I configuration: "base64", "base128",
 	// "shelf64-opt", "shelf64-cons" or "coarse64". Mutually exclusive with
@@ -41,13 +50,22 @@ type Request struct {
 	Overrides *Overrides `json:"overrides,omitempty"`
 
 	// Threads is the SMT thread count; 0 derives it from the workload
-	// (one thread per kernel or stream).
+	// (one thread per kernel, program or stream).
 	Threads int `json:"threads,omitempty"`
 	// Kernels names the workload, one kernel per thread.
 	Kernels []string `json:"kernels,omitempty"`
+	// Programs is assembly source text, one program per thread (see
+	// internal/asm for the RV32IM-flavored dialect). Programs travel over
+	// the wire as plain text; Resolve assembles each one and attributes
+	// failures to "programs[i]" with the line/column diagnostic as the
+	// cause.
+	Programs []string `json:"programs,omitempty"`
 	// Streams supplies caller-provided instruction streams instead of
 	// kernels (custom workloads, recorded traces). Library-only: it is
-	// excluded from the wire format.
+	// excluded from the wire format and has no cache identity.
+	//
+	// Deprecated: new callers should express custom workloads as Programs,
+	// which serve, cache and fingerprint like kernels do.
 	Streams []Stream `json:"-"`
 
 	// Insts is the measured window, in retired instructions per thread.
@@ -95,6 +113,9 @@ type Overrides struct {
 	Telemetry *bool `json:"telemetry,omitempty"`
 	// CheckInvariants enables the per-cycle invariant checker.
 	CheckInvariants *bool `json:"check_invariants,omitempty"`
+	// AsmBound overrides the cap on assembled programs' unrolled execution
+	// schedules (Config.AsmScheduleBound).
+	AsmBound *int64 `json:"asm_bound,omitempty"`
 	// Name relabels the configuration in reports.
 	Name *string `json:"name,omitempty"`
 }
@@ -168,6 +189,9 @@ func (o *Overrides) apply(cfg *Config) error {
 	if o.CheckInvariants != nil {
 		cfg.CheckInvariants = *o.CheckInvariants
 	}
+	if o.AsmBound != nil {
+		cfg.AsmScheduleBound = *o.AsmBound
+	}
 	if o.Name != nil {
 		cfg.Name = *o.Name
 	}
@@ -186,29 +210,92 @@ const defaultCoarseInterval = 1000
 const defaultChipEpoch = 4096
 
 // Resolved is a Request after validation: a concrete configuration, the
-// workload mix (or custom streams) and the measurement window.
+// workload (exactly one of Mix, Programs or Streams populated) and the
+// measurement window.
 type Resolved struct {
-	Config  Config
-	Mix     Mix
-	Streams []Stream
-	Warmup  int64
-	Insts   int64
+	Config Config
+	Mix    Mix
+	// Programs is the assembled-program workload, one per thread.
+	Programs []*asm.Program
+	Streams  []Stream
+	Warmup   int64
+	Insts    int64
 }
 
 // CacheKey is the canonical identity of the resolved simulation — the
-// configuration fingerprint, mix identity and measurement window. The
-// harness memoizes on it and shelfd deduplicates in-flight jobs with it.
+// configuration fingerprint, workload identity and measurement window.
+// The harness memoizes on it and shelfd deduplicates in-flight jobs with
+// it. Program workloads key on their execution-schedule fingerprints, so
+// textually different sources assembling to the same schedule share one
+// cache entry.
 func (rv *Resolved) CacheKey() string {
+	if len(rv.Programs) > 0 {
+		return harness.WorkloadCacheKey(&rv.Config, asm.WorkloadID(rv.Programs), rv.Warmup, rv.Insts)
+	}
 	return harness.CacheKey(&rv.Config, rv.Mix, rv.Warmup, rv.Insts)
 }
 
+// workloadKind reports which arm of the workload union the request uses,
+// rejecting requests that set more than one with a FieldError naming the
+// conflicting fields. An empty request resolves to kindNone; Resolve
+// rejects it after thread derivation (the counts may still matter for
+// the diagnostic).
+type workloadKind uint8
+
+const (
+	kindNone workloadKind = iota
+	kindKernels
+	kindPrograms
+	kindStreams
+)
+
+// field names the request field diagnostics for this workload kind should
+// point at (an empty workload is reported against "kernels", the common
+// arm).
+func (k workloadKind) field() string {
+	switch k {
+	case kindPrograms:
+		return "programs"
+	case kindStreams:
+		return "streams"
+	default:
+		return "kernels"
+	}
+}
+
+func (r *Request) workloadKind() (workloadKind, error) {
+	var set []string
+	k := kindNone
+	if len(r.Kernels) > 0 {
+		set = append(set, "kernels")
+		k = kindKernels
+	}
+	if len(r.Programs) > 0 {
+		set = append(set, "programs")
+		k = kindPrograms
+	}
+	if len(r.Streams) > 0 {
+		set = append(set, "streams")
+		k = kindStreams
+	}
+	if len(set) > 1 {
+		return kindNone, config.Fielderrf(set[0],
+			"request names more than one workload kind (%s); kernels, programs and streams are mutually exclusive",
+			strings.Join(set, " and "))
+	}
+	return k, nil
+}
+
 // Resolve validates the request and materializes the configuration and
-// workload. Every failure is a *FieldError naming the offending field.
+// workload. Every failure is a *FieldError naming the offending field;
+// program assembly failures carry the *asm.Error (line, column, message)
+// as their cause.
 func (r Request) Resolve() (Resolved, error) {
 	var rv Resolved
 
-	if len(r.Kernels) > 0 && len(r.Streams) > 0 {
-		return rv, config.Fielderrf("kernels", "request names both kernels and custom streams")
+	kind, err := r.workloadKind()
+	if err != nil {
+		return rv, err
 	}
 	// Chip requests list Threads workloads per core, so deriving the
 	// per-core thread count from the workload needs the core count first.
@@ -224,9 +311,9 @@ func (r Request) Resolve() (Resolved, error) {
 	}
 	threads := r.Threads
 	if threads == 0 {
-		total := len(r.Kernels) + len(r.Streams)
+		total := len(r.Kernels) + len(r.Programs) + len(r.Streams)
 		if total%cores != 0 {
-			return rv, config.Fielderrf("kernels", "%d workloads do not divide across %d cores", total, cores)
+			return rv, config.Fielderrf(kind.field(), "%d workloads do not divide across %d cores", total, cores)
 		}
 		threads = total / cores
 	}
@@ -270,8 +357,8 @@ func (r Request) Resolve() (Resolved, error) {
 	if rv.Config.NumCores >= 2 {
 		want *= rv.Config.NumCores
 	}
-	switch {
-	case len(r.Streams) > 0:
+	switch kind {
+	case kindStreams:
 		if len(r.Streams) != want {
 			return rv, config.Fielderrf("streams", "%d streams for %d threads", len(r.Streams), want)
 		}
@@ -281,7 +368,20 @@ func (r Request) Resolve() (Resolved, error) {
 			}
 		}
 		rv.Streams = r.Streams
-	case len(r.Kernels) > 0:
+	case kindPrograms:
+		if len(r.Programs) != want {
+			return rv, config.Fielderrf("programs", "%d programs for %d threads", len(r.Programs), want)
+		}
+		progs := make([]*asm.Program, len(r.Programs))
+		for i, src := range r.Programs {
+			p, err := asm.Assemble(src, asm.Options{MaxSchedule: rv.Config.AsmScheduleBound})
+			if err != nil {
+				return rv, config.WrapFielderr(fmt.Sprintf("programs[%d]", i), err)
+			}
+			progs[i] = p
+		}
+		rv.Programs = progs
+	case kindKernels:
 		if len(r.Kernels) != want {
 			return rv, config.Fielderrf("kernels", "%d kernels for %d threads", len(r.Kernels), want)
 		}
@@ -295,7 +395,7 @@ func (r Request) Resolve() (Resolved, error) {
 		}
 		rv.Mix = Mix{ID: 0, Kernels: ks}
 	default:
-		return rv, config.Fielderrf("kernels", "request has no workload (no kernels, no streams)")
+		return rv, config.Fielderrf("kernels", "request has no workload (no kernels, no programs, no streams)")
 	}
 
 	if r.Insts <= 0 {
@@ -353,11 +453,12 @@ func Run(ctx context.Context, req Request) (Result, error) {
 func runResolved(ctx context.Context, rv Resolved) (Result, error) {
 	r := &runner.Runner{CyclesPerInst: DefaultMaxCyclesPerInst, MaxAttempts: 1}
 	res, simErr := r.Execute(ctx, runner.Job{
-		Config:  rv.Config,
-		Mix:     rv.Mix,
-		Streams: rv.Streams,
-		Warmup:  rv.Warmup,
-		Measure: rv.Insts,
+		Config:   rv.Config,
+		Mix:      rv.Mix,
+		Programs: rv.Programs,
+		Streams:  rv.Streams,
+		Warmup:   rv.Warmup,
+		Measure:  rv.Insts,
 	})
 	if simErr != nil {
 		return Result{}, simErr

@@ -43,6 +43,23 @@ grep -q '"count": 0' SHELFVET.json || { cat SHELFVET.json; exit 1; }
 
 go test -race ./...
 
+# Programmable-workload gate, explicitly under -race and uncached: every
+# checked-in assembly program (testdata/asm/*.s) must assemble, simulate
+# and match the fingerprints pinned in testdata/asm/golden.json — both the
+# assembler's schedule fingerprint and the simulated result fingerprint.
+# Any drift in the front end's lowering, the unroll semantics or the
+# timing model fails here before it silently splits or aliases cached
+# results. Regenerate intentionally with: go test -run
+# TestAsmGoldenFingerprints -update-asm-golden .
+go test -race -count=1 -run TestAsmGoldenFingerprints .
+
+# Assembler totality fuzz, short fixed budget: Assemble must never panic
+# on arbitrary input, and every accepted program's canonical rendering
+# must be a fixpoint with a stable schedule fingerprint (the cache
+# identity). The corpus accumulated under internal/asm/testdata keeps
+# past discoveries as regression seeds.
+go test -run '^$' -fuzz FuzzAssemble -fuzztime 10s ./internal/asm/
+
 # The observability layer's own race gate, run explicitly so a -run filter
 # or test-cache change elsewhere can never hide it: merged telemetry from a
 # multi-worker sweep must equal the serial merge, with no data races.

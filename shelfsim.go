@@ -23,6 +23,7 @@ package shelfsim
 import (
 	"context"
 
+	"shelfsim/internal/asm"
 	"shelfsim/internal/config"
 	"shelfsim/internal/core"
 	"shelfsim/internal/isa"
@@ -66,6 +67,34 @@ type Kernel = workload.Kernel
 
 // Mix is a multiprogrammed workload (one kernel per thread).
 type Mix = workload.Mix
+
+// Program is an assembled workload program: validated source, its
+// canonical rendering (String) and its execution-schedule fingerprint.
+// Obtain one with Assemble or by resolving a Request with Programs set.
+type Program = asm.Program
+
+// AsmError is a positioned assembler diagnostic (1-based line and
+// column). Program-backed Requests that fail to assemble return a
+// *FieldError naming "programs[i]" whose cause unwraps (errors.As) to a
+// *AsmError locating the offending token.
+type AsmError = asm.Error
+
+// AsmOptions tunes program assembly; the zero value applies the
+// assembler's defaults.
+type AsmOptions = asm.Options
+
+// Assemble compiles one assembly program (see internal/asm for the
+// dialect) without running it: CLIs use it to syntax-check .s files and
+// print canonical forms, and tests use it to fingerprint workloads.
+func Assemble(src string, opt AsmOptions) (*Program, error) {
+	return asm.Assemble(src, opt)
+}
+
+// NewFieldError attributes err to a request field, preserving it as the
+// unwrap cause. Clients reconstruct server-side diagnostics with it.
+func NewFieldError(field string, err error) *FieldError {
+	return config.WrapFielderr(field, err)
+}
 
 // Base64 returns the paper's baseline core: 64-entry ROB, 32-entry
 // IQ/LQ/SQ, no shelf.
